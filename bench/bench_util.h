@@ -1,0 +1,77 @@
+// Shared helpers for the figure/table benches: delta sweeps over the five
+// algorithms, with aligned-table output matching the series the paper
+// plots.
+
+#ifndef OCT_BENCH_BENCH_UTIL_H_
+#define OCT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "eval/harness.h"
+#include "util/table_writer.h"
+
+namespace oct {
+namespace bench {
+
+/// Prints a standard bench header with the dataset shape and scale.
+inline void PrintHeader(const std::string& title, const data::Dataset& ds) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "dataset %s: %zu items, %zu candidate sets (scale %.3g; set "
+      "OCT_BENCH_SCALE=full for paper-sized runs)\n\n",
+      ds.name.c_str(), ds.catalog->num_items(), ds.input.num_sets(),
+      data::BenchScale());
+}
+
+/// Runs every algorithm at each delta and prints one row per delta with a
+/// normalized-score column per algorithm (the layout of Figures 8a-8c).
+inline void SweepAllAlgorithms(const data::Dataset& ds, Variant variant,
+                               const std::vector<double>& deltas) {
+  std::vector<std::string> header = {"delta"};
+  for (eval::Algorithm algo : eval::AllAlgorithms()) {
+    header.push_back(eval::AlgorithmName(algo));
+  }
+  TableWriter table(header);
+  for (double delta : deltas) {
+    const Similarity sim(variant, delta);
+    std::vector<std::string> row = {TableWriter::Num(delta, 2)};
+    for (eval::Algorithm algo : eval::AllAlgorithms()) {
+      const eval::AlgoRun run = eval::RunAlgorithm(algo, ds, sim);
+      row.push_back(TableWriter::Num(run.score.normalized, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+}
+
+/// Runs CTCR only across deltas (the layout of Figures 8d/8g/8h).
+inline void SweepCtcr(const data::Dataset& ds, Variant variant,
+                      const std::vector<double>& deltas) {
+  TableWriter table({"delta", "CTCR score", "covered", "categories"});
+  for (double delta : deltas) {
+    const Similarity sim(variant, delta);
+    const eval::AlgoRun run =
+        eval::RunAlgorithm(eval::Algorithm::kCtcr, ds, sim);
+    table.AddRow({TableWriter::Num(delta, 2),
+                  TableWriter::Num(run.score.normalized, 4),
+                  std::to_string(run.score.num_covered),
+                  std::to_string(run.num_categories)});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+}
+
+inline std::vector<double> Range(double lo, double hi, double step) {
+  std::vector<double> out;
+  for (double d = lo; d <= hi + 1e-9; d += step) {
+    out.push_back(d < hi ? d : hi);  // Clamp accumulated FP error.
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace oct
+
+#endif  // OCT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,34 @@
+// Section 5.4 quantitative cohesiveness check: average pairwise tf-idf
+// similarity of product titles within categories — paper reports 0.52
+// (CTCR tree) vs 0.49 (existing tree) on the uniform average, and 0.45 for
+// both when weighting by category size. Expected shape: CTCR >= ET on the
+// uniform average, near-equal weighted averages.
+
+#include "bench_util.h"
+#include "ctcr/ctcr.h"
+#include "eval/cohesiveness.h"
+
+int main() {
+  using namespace oct;
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const data::Dataset ds = data::MakeDataset('D', sim);
+  bench::PrintHeader("Section 5.4 - tf-idf category cohesiveness (D)", ds);
+
+  const ctcr::CtcrResult result = ctcr::BuildCategoryTree(ds.input, sim);
+  const eval::CohesivenessResult ctcr_c =
+      eval::MeasureCohesiveness(*ds.catalog, result.tree);
+  const eval::CohesivenessResult et_c =
+      eval::MeasureCohesiveness(*ds.catalog, ds.existing_tree);
+
+  TableWriter table({"tree", "uniform avg tf-idf", "size-weighted avg",
+                     "categories"});
+  table.AddRow({"CTCR", TableWriter::Num(ctcr_c.uniform_average, 3),
+                TableWriter::Num(ctcr_c.weighted_average, 3),
+                std::to_string(ctcr_c.categories_evaluated)});
+  table.AddRow({"Existing", TableWriter::Num(et_c.uniform_average, 3),
+                TableWriter::Num(et_c.weighted_average, 3),
+                std::to_string(et_c.categories_evaluated)});
+  std::printf("%s\n", table.ToAligned().c_str());
+  std::printf("(paper: 0.52 vs 0.49 uniform; 0.45 vs 0.45 weighted)\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 8a: normalized scores of all five algorithms on dataset C under
+// the threshold Jaccard variant, across thresholds in [0.5, 1].
+// Expected shape (paper): CTCR > CCT > IC-Q > IC-S ~ ET at every delta,
+// with scores decreasing as delta grows and CTCR staying >= 0.5.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace oct;
+  const Similarity build_sim(Variant::kJaccardThreshold, 0.8);
+  const data::Dataset ds = data::MakeDataset('C', build_sim);
+  bench::PrintHeader("Figure 8a - threshold Jaccard on dataset C", ds);
+  bench::SweepAllAlgorithms(ds, Variant::kJaccardThreshold,
+                            bench::Range(0.5, 1.0, 0.1));
+  return 0;
+}

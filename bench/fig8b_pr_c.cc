@@ -1,0 +1,15 @@
+// Figure 8b: normalized scores of all five algorithms on dataset C under
+// the Perfect-Recall variant, across thresholds in [0.1, 1] (the paper
+// examines the wider range because faceted search tolerates low precision).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace oct;
+  const Similarity build_sim(Variant::kPerfectRecall, 0.6);
+  const data::Dataset ds = data::MakeDataset('C', build_sim);
+  bench::PrintHeader("Figure 8b - Perfect-Recall on dataset C", ds);
+  bench::SweepAllAlgorithms(ds, Variant::kPerfectRecall,
+                            bench::Range(0.1, 1.0, 0.15));
+  return 0;
+}

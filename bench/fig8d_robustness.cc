@@ -1,0 +1,32 @@
+// Figure 8d: threshold robustness — CTCR's score changes only mildly for
+// thresholds in [0.6, 0.9] (threshold Jaccard, dataset C), which is why
+// taxonomists found delta easy to tune (Section 5.4).
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace oct;
+  const Similarity build_sim(Variant::kJaccardThreshold, 0.8);
+  const data::Dataset ds = data::MakeDataset('C', build_sim);
+  bench::PrintHeader("Figure 8d - CTCR robustness to delta in [0.6, 0.9]",
+                     ds);
+  const auto deltas = bench::Range(0.6, 0.9, 0.05);
+  std::vector<double> scores;
+  TableWriter table({"delta", "CTCR score"});
+  for (double delta : deltas) {
+    const eval::AlgoRun run = eval::RunAlgorithm(
+        eval::Algorithm::kCtcr, ds,
+        Similarity(Variant::kJaccardThreshold, delta));
+    scores.push_back(run.score.normalized);
+    table.AddRow({TableWriter::Num(delta, 2),
+                  TableWriter::Num(run.score.normalized, 4)});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  const double lo = *std::min_element(scores.begin(), scores.end());
+  const double hi = *std::max_element(scores.begin(), scores.end());
+  std::printf("score range over [0.6, 0.9]: [%.4f, %.4f], spread %.4f\n", lo,
+              hi, hi - lo);
+  return 0;
+}

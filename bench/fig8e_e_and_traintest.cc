@@ -1,0 +1,50 @@
+// Figure 8e: (i) Perfect-Recall scores of all algorithms on the public-
+// style dataset E (uniform weights), and (ii) the train/test robustness
+// evaluation — random 50/50 splits of the largest dataset, tree built on
+// the training half and scored on the held-out half. Expected shape: test
+// scores lower than train-only scores, same algorithm ranking, CTCR best.
+
+#include "bench_util.h"
+#include "eval/train_test.h"
+
+int main() {
+  using namespace oct;
+
+  {
+    const Similarity build_sim(Variant::kPerfectRecall, 0.6);
+    const data::Dataset e = data::MakeDataset('E', build_sim);
+    bench::PrintHeader("Figure 8e (part 1) - Perfect-Recall on dataset E",
+                       e);
+    bench::SweepAllAlgorithms(e, Variant::kPerfectRecall,
+                              bench::Range(0.1, 1.0, 0.15));
+  }
+
+  {
+    const Similarity sim(Variant::kJaccardThreshold, 0.8);
+    // Merging is disabled so same-intent paraphrase queries can land on
+    // both sides of a split — the generalization real logs exhibit.
+    data::DatasetOptions options;
+    options.merge_similar = false;
+    const data::Dataset d =
+        data::MakeDataset('D', sim, data::BenchScale(), options);
+    bench::PrintHeader(
+        "Figure 8e (part 2) - train/test evaluation on dataset D", d);
+    // Paper uses 50 random splits; scale the split count with the bench
+    // scale to keep the default run fast.
+    const size_t splits = data::BenchScale() >= 0.5 ? 50 : 8;
+    TableWriter table(
+        {"algorithm", "train score", "test score", "splits"});
+    for (eval::Algorithm algo :
+         {eval::Algorithm::kCtcr, eval::Algorithm::kCct,
+          eval::Algorithm::kIcQ}) {
+      const eval::TrainTestResult r =
+          eval::TrainTestEvaluate(algo, d, sim, splits, /*seed=*/17);
+      table.AddRow({eval::AlgorithmName(algo),
+                    TableWriter::Num(r.mean_train_score, 4),
+                    TableWriter::Num(r.mean_test_score, 4),
+                    std::to_string(r.splits)});
+    }
+    std::printf("%s\n", table.ToAligned().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 8g: CTCR across the full threshold range for the threshold
+// Jaccard variant on dataset C. Expected shape: lowering the threshold
+// consistently covers more sets and raises the score.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace oct;
+  const Similarity build_sim(Variant::kJaccardThreshold, 0.8);
+  const data::Dataset ds = data::MakeDataset('C', build_sim);
+  bench::PrintHeader(
+      "Figure 8g - CTCR threshold sweep, threshold Jaccard on C", ds);
+  bench::SweepCtcr(ds, Variant::kJaccardThreshold,
+                   bench::Range(0.5, 1.0, 0.05));
+  return 0;
+}

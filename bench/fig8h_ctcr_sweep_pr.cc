@@ -1,0 +1,15 @@
+// Figure 8h: CTCR across thresholds in [0.1, 1] for the Perfect-Recall
+// variant on dataset E. Expected shape: monotone non-increasing score as
+// the precision requirement tightens.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace oct;
+  const Similarity build_sim(Variant::kPerfectRecall, 0.6);
+  const data::Dataset ds = data::MakeDataset('E', build_sim);
+  bench::PrintHeader("Figure 8h - CTCR threshold sweep, Perfect-Recall on E",
+                     ds);
+  bench::SweepCtcr(ds, Variant::kPerfectRecall, bench::Range(0.1, 1.0, 0.1));
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: ItemSet
+// intersection counting, conflict enumeration, the MIS solver stack, tree
+// scoring, and agglomerative clustering.
+
+#include <benchmark/benchmark.h>
+
+#include "cct/agglomerative.h"
+#include "cct/embedding.h"
+#include "core/scoring.h"
+#include "ctcr/conflicts.h"
+#include "ctcr/ctcr.h"
+#include "mis/greedy.h"
+#include "mis/local_search.h"
+#include "mis/solver.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace oct;
+
+ItemSet RandomSet(Rng* rng, size_t universe, size_t size) {
+  std::vector<ItemId> items;
+  items.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    items.push_back(static_cast<ItemId>(rng->NextBelow(universe)));
+  }
+  return ItemSet(std::move(items));
+}
+
+OctInput RandomInput(size_t universe, size_t sets, size_t avg_size,
+                     uint64_t seed) {
+  Rng rng(seed);
+  OctInput input(universe);
+  for (size_t s = 0; s < sets; ++s) {
+    ItemSet set = RandomSet(&rng, universe, avg_size / 2 +
+                                                rng.NextBelow(avg_size));
+    if (set.empty()) set = ItemSet({static_cast<ItemId>(s % universe)});
+    input.Add(std::move(set), 0.5 + rng.NextDouble() * 4.0);
+  }
+  return input;
+}
+
+void BM_ItemSetIntersectionSize(benchmark::State& state) {
+  Rng rng(1);
+  const ItemSet a = RandomSet(&rng, 100000, state.range(0));
+  const ItemSet b = RandomSet(&rng, 100000, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectionSize(b));
+  }
+}
+BENCHMARK(BM_ItemSetIntersectionSize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ItemSetGallopingIntersection(benchmark::State& state) {
+  Rng rng(2);
+  const ItemSet small = RandomSet(&rng, 1000000, 50);
+  const ItemSet big = RandomSet(&rng, 1000000, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.IntersectionSize(big));
+  }
+}
+BENCHMARK(BM_ItemSetGallopingIntersection)->Arg(10000)->Arg(100000);
+
+void BM_ConflictAnalysis(benchmark::State& state) {
+  const OctInput input =
+      RandomInput(20000, static_cast<size_t>(state.range(0)), 60, 3);
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctcr::AnalyzeConflicts(input, sim, true));
+  }
+}
+BENCHMARK(BM_ConflictAnalysis)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_MisGreedy(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  mis::Graph g(n);
+  for (size_t e = 0; e < n * 3; ++e) {
+    const auto u = static_cast<mis::VertexId>(rng.NextBelow(n));
+    const auto v = static_cast<mis::VertexId>(rng.NextBelow(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  g.Finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::SolveGreedy(g));
+  }
+}
+BENCHMARK(BM_MisGreedy)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_MisSolverSparse(benchmark::State& state) {
+  Rng rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  mis::Graph g(n);
+  for (size_t e = 0; e < n / 2; ++e) {
+    const auto u = static_cast<mis::VertexId>(rng.NextBelow(n));
+    const auto v = static_cast<mis::VertexId>(rng.NextBelow(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  g.Finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::SolveMis(g));
+  }
+}
+BENCHMARK(BM_MisSolverSparse)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_CtcrEndToEnd(benchmark::State& state) {
+  const OctInput input =
+      RandomInput(5000, static_cast<size_t>(state.range(0)), 40, 6);
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctcr::BuildCategoryTree(input, sim));
+  }
+}
+BENCHMARK(BM_CtcrEndToEnd)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_ScoreTree(benchmark::State& state) {
+  const OctInput input =
+      RandomInput(10000, static_cast<size_t>(state.range(0)), 50, 7);
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const ctcr::CtcrResult result = ctcr::BuildCategoryTree(input, sim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScoreTree(input, result.tree, sim));
+  }
+}
+BENCHMARK(BM_ScoreTree)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_Embeddings(benchmark::State& state) {
+  const OctInput input =
+      RandomInput(10000, static_cast<size_t>(state.range(0)), 50, 8);
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cct::EmbedInputSets(input, sim));
+  }
+}
+BENCHMARK(BM_Embeddings)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_AgglomerativeClustering(benchmark::State& state) {
+  Rng rng(9);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> pts(n);
+  for (auto& p : pts) p = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cct::AgglomerativeCluster(
+        n, [&](size_t a, size_t b) { return std::abs(pts[a] - pts[b]); }));
+  }
+}
+BENCHMARK(BM_AgglomerativeClustering)
+    ->Arg(200)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,30 @@
+// Table 1: conservative updates — mixing query result sets (dataset D)
+// with the existing tree's categories, modulating the weight ratio. The
+// paper's finding: the input weight ratio translates into roughly the same
+// score-contribution ratio (90/10 -> 93/7, ..., 10/90 -> 7/93).
+
+#include "bench_util.h"
+#include "eval/contribution.h"
+
+int main() {
+  using namespace oct;
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const data::Dataset ds = data::MakeDataset('D', sim);
+  bench::PrintHeader(
+      "Table 1 - query/existing weight ratio vs score contribution (D, "
+      "threshold Jaccard 0.8)",
+      ds);
+  const auto rows =
+      eval::ContributionSplit(ds, sim, {0.9, 0.7, 0.5, 0.3, 0.1});
+  TableWriter table({"Queries/Existing", "% of Score from Queries",
+                     "% of Score from Existing"});
+  for (const auto& row : rows) {
+    table.AddRow(
+        {TableWriter::Num(row.query_weight_fraction * 100, 0) + "%/" +
+             TableWriter::Num((1 - row.query_weight_fraction) * 100, 0) + "%",
+         TableWriter::Num(row.score_from_queries * 100, 2) + "%",
+         TableWriter::Num(row.score_from_existing * 100, 2) + "%"});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  return 0;
+}

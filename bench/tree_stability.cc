@@ -1,0 +1,49 @@
+// Conservative-update stability (Section 2.3): as the weight share of the
+// existing tree's categories grows, the regenerated tree should look more
+// and more like the existing tree. Quantified with the TreeDiff metric:
+// mean category overlap and item placement stability vs the ET baseline.
+
+#include "baselines/existing_tree.h"
+#include "bench_util.h"
+#include "core/tree_diff.h"
+#include "ctcr/ctcr.h"
+
+int main() {
+  using namespace oct;
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const data::Dataset ds = data::MakeDataset('B', sim);
+  bench::PrintHeader(
+      "Conservative updates - tree similarity to the existing tree vs "
+      "existing-category weight share (B)",
+      ds);
+
+  const std::vector<CandidateSet> existing =
+      baselines::CategoriesAsCandidateSets(ds.existing_tree, 1.0);
+  const double query_total = ds.input.TotalWeight();
+
+  TableWriter table({"existing weight share", "mean category overlap",
+                     "item stability", "novel categories"});
+  for (double existing_share : {0.0, 0.3, 0.6, 0.9}) {
+    OctInput mixed(ds.input.universe_size());
+    for (SetId q = 0; q < ds.input.num_sets(); ++q) {
+      CandidateSet cs = ds.input.set(q);
+      cs.weight = cs.weight / query_total * (1.0 - existing_share);
+      mixed.Add(std::move(cs));
+    }
+    for (const CandidateSet& e : existing) {
+      CandidateSet cs = e;
+      cs.weight = existing_share / static_cast<double>(existing.size());
+      mixed.Add(std::move(cs));
+    }
+    const ctcr::CtcrResult run = ctcr::BuildCategoryTree(mixed, sim);
+    const TreeDiff diff = CompareTrees(ds.existing_tree, run.tree);
+    table.AddRow({TableWriter::Num(existing_share * 100, 0) + "%",
+                  TableWriter::Num(diff.mean_category_overlap, 4),
+                  TableWriter::Num(diff.ItemStability(), 4),
+                  std::to_string(diff.novel_categories)});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  std::printf("(expected shape: overlap and stability increase with the "
+              "existing-category weight share)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Two workflow experiments from Section 5.4:
+//
+//  (1) Trend capture — "platforms can capitalize on short-lived trends by
+//      applying the algorithms over data skewed towards more recent
+//      periods" (the Kobe-memorabilia effect): preprocessing over the full
+//      90-day window misses spike queries (they fail the consecutive
+//      frequency filter); a recent-window run admits them and the tree
+//      gains dedicated trend categories.
+//
+//  (2) Reemployment — lowering the thresholds of uncovered queries and
+//      rerunning CTCR covers them within a few rounds ("reemploying CTCR
+//      several times is sufficient").
+
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "core/scoring.h"
+#include "ctcr/reemploy.h"
+
+namespace {
+
+using namespace oct;
+
+void TrendCapture() {
+  std::printf("--- trend capture via recent-window preprocessing (dataset D) "
+              "---\n");
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  TableWriter table(
+      {"window", "input sets", "trend sets in input", "covered trend sets"});
+  for (const bool recent : {false, true}) {
+    data::DatasetOptions opts;
+    opts.recent_window_only = recent;
+    opts.window_days = recent ? 10 : 90;
+    const data::Dataset ds =
+        data::MakeDataset('D', sim, data::BenchScale(), opts);
+    // Trend queries spike only recently: identify them by label overlap
+    // with the recent-only run is circular, so instead count input sets
+    // absent from the other window's input. Simpler proxy: sets whose
+    // weight is large are established; we count sets only present here.
+    const ctcr::CtcrResult run = ctcr::BuildCategoryTree(ds.input, sim);
+    const TreeScore score = ScoreTree(ds.input, run.tree, sim);
+    // Count trend sets = sets that would fail the 90-day filter; we rebuild
+    // the other input for the comparison.
+    data::DatasetOptions full_opts;
+    full_opts.recent_window_only = false;
+    full_opts.window_days = 90;
+    const data::Dataset full =
+        data::MakeDataset('D', sim, data::BenchScale(), full_opts);
+    std::unordered_set<std::string> full_labels;
+    for (const auto& s : full.input.sets()) full_labels.insert(s.label);
+    size_t trend_sets = 0, covered_trends = 0;
+    for (SetId q = 0; q < ds.input.num_sets(); ++q) {
+      if (full_labels.count(ds.input.set(q).label)) continue;
+      ++trend_sets;
+      if (score.per_set[q].covered) ++covered_trends;
+    }
+    table.AddRow({recent ? "recent 10 days" : "full 90 days",
+                  std::to_string(ds.input.num_sets()),
+                  std::to_string(trend_sets), std::to_string(covered_trends)});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  std::printf("(the recent window admits spike queries the 90-day filter "
+              "rejects, and CTCR covers them)\n\n");
+}
+
+void Reemployment() {
+  std::printf("--- reemployment with reduced thresholds (dataset C, "
+              "Perfect-Recall 0.9) ---\n");
+  const Similarity sim(Variant::kPerfectRecall, 0.9);
+  const data::Dataset ds = data::MakeDataset('C', sim);
+  ctcr::ReemployOptions options;
+  options.threshold_factor = 0.8;
+  options.min_delta = 0.4;
+  options.max_rounds = 4;
+  const ctcr::ReemployResult result =
+      ctcr::ReemployWithReducedThresholds(ds.input, sim, options);
+  TableWriter table({"round", "covered sets", "score (original weights)"});
+  for (size_t r = 0; r < result.rounds; ++r) {
+    table.AddRow({std::to_string(r + 1),
+                  std::to_string(result.covered_per_round[r]) + "/" +
+                      std::to_string(ds.input.num_sets()),
+                  TableWriter::Num(result.score_per_round[r], 4)});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 5.4 workflow experiments ===\n\n");
+  TrendCapture();
+  Reemployment();
+  return 0;
+}

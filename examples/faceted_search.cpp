@@ -1,0 +1,47 @@
+// Faceted search with the Perfect-Recall variant (Section 2.2): when a
+// category feeds a filtering interface, it should contain *complete*
+// result sets (recall 1) and precision errors matter less — users refine
+// with filters. This example contrasts Perfect-Recall at delta 0.6 with
+// threshold Jaccard at 0.8 on the same input, showing how the variant
+// changes which categories are built.
+//
+//   $ ./build/examples/faceted_search
+
+#include <cstdio>
+
+#include "core/scoring.h"
+#include "ctcr/ctcr.h"
+
+int main() {
+  using namespace oct;
+
+  // A diverse "TV screens" subtree: queries target size bands that overlap.
+  //   0..9   small TVs, 10..19 medium, 20..29 large, 30..34 projectors
+  OctInput input(35);
+  std::vector<ItemId> all_tv, small_med, med_large;
+  for (ItemId i = 0; i < 30; ++i) all_tv.push_back(i);
+  for (ItemId i = 0; i < 20; ++i) small_med.push_back(i);
+  for (ItemId i = 10; i < 30; ++i) med_large.push_back(i);
+  input.Add(ItemSet(all_tv), 5.0, "tv");
+  input.Add(ItemSet(small_med), 3.0, "tv up to 50 inch");
+  input.Add(ItemSet(med_large), 3.0, "tv 40 inch and up");
+  input.Add(ItemSet({30, 31, 32, 33, 34}), 1.0, "projector");
+
+  for (const Similarity sim : {Similarity(Variant::kPerfectRecall, 0.6),
+                               Similarity(Variant::kJaccardThreshold, 0.8)}) {
+    const ctcr::CtcrResult result = ctcr::BuildCategoryTree(input, sim);
+    const TreeScore score = ScoreTree(input, result.tree, sim);
+    std::printf("=== %s ===\n", sim.ToString().c_str());
+    std::printf("covered %zu/%zu, normalized score %.3f\n",
+                score.num_covered, input.num_sets(), score.normalized);
+    for (SetId q = 0; q < input.num_sets(); ++q) {
+      std::printf("  %-20s -> %s\n", input.set(q).label.c_str(),
+                  score.per_set[q].covered ? "covered" : "NOT covered");
+    }
+    std::printf("%s\n", result.tree.ToString().c_str());
+  }
+  std::printf(
+      "Perfect-Recall keeps every size-band query complete (for filter\n"
+      "refinement); the overlapping bands conflict under strict Jaccard.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: build an optimal category tree for the paper's running
+// example (Figure 2) with both algorithms, and inspect scores and trees.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cct/cct.h"
+#include "core/scoring.h"
+#include "ctcr/ctcr.h"
+
+int main() {
+  using namespace oct;
+
+  // Nine products (the shirts of Figure 3), ids 0..8 = a..i.
+  OctInput input(9);
+  // Four candidate categories — result sets of frequent search queries,
+  // weighted by query frequency.
+  input.Add(ItemSet({0, 1, 2, 3, 4}), 2.0, "black shirt");
+  input.Add(ItemSet({0, 1}), 1.0, "black adidas shirt");
+  input.Add(ItemSet({2, 3, 4, 5}), 1.0, "nike shirt");
+  input.Add(ItemSet({0, 1, 5, 6, 7, 8}), 1.0, "long sleeve shirt");
+
+  // Perfect-Recall objective with precision threshold 0.8: a category
+  // covers a query when it contains the entire result set with at most 20%
+  // foreign items.
+  const Similarity sim(Variant::kPerfectRecall, 0.8);
+
+  // CTCR: conflict analysis + MIS + tree construction.
+  const ctcr::CtcrResult ctcr_result = ctcr::BuildCategoryTree(input, sim);
+  const TreeScore ctcr_score = ScoreTree(input, ctcr_result.tree, sim);
+  std::printf("=== CTCR (%s) ===\n", sim.ToString().c_str());
+  std::printf("2-conflicts: %zu, MIS optimal: %s\n",
+              ctcr_result.analysis.conflicts2.size(),
+              ctcr_result.mis_optimal ? "yes" : "no");
+  std::printf("score: %.3f / %.1f (normalized %.3f, %zu/%zu covered)\n",
+              ctcr_score.total, input.TotalWeight(), ctcr_score.normalized,
+              ctcr_score.num_covered, input.num_sets());
+  std::printf("%s\n", ctcr_result.tree.ToString().c_str());
+
+  // CCT: cluster the candidate sets, then assign items.
+  const cct::CctResult cct_result = cct::BuildCategoryTree(input, sim);
+  const TreeScore cct_score = ScoreTree(input, cct_result.tree, sim);
+  std::printf("=== CCT ===\n");
+  std::printf("score: %.3f (normalized %.3f)\n", cct_score.total,
+              cct_score.normalized);
+  std::printf("%s\n", cct_result.tree.ToString().c_str());
+  return 0;
+}

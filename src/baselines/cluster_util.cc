@@ -1,0 +1,44 @@
+#include "baselines/cluster_util.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace baselines {
+
+CategoryTree TreeFromItemClusters(
+    const cct::Dendrogram& dendro,
+    const std::vector<std::vector<ItemId>>& groups,
+    const std::vector<std::string>& labels) {
+  CategoryTree tree;
+  const size_t n = dendro.num_leaves;
+  OCT_CHECK_EQ(n, groups.size());
+  OCT_CHECK_EQ(n, labels.size());
+  if (n == 0) return tree;
+  std::vector<NodeId> of(n + dendro.merges.size(), kInvalidNode);
+  if (n == 1) {
+    of[0] = tree.AddCategory(tree.root(), labels[0]);
+  } else {
+    of[dendro.RootId()] = tree.root();
+    for (size_t k = dendro.merges.size(); k-- > 0;) {
+      const auto& m = dendro.merges[k];
+      const NodeId parent = of[n + k];
+      OCT_DCHECK(parent != kInvalidNode);
+      for (uint32_t child : {m.left, m.right}) {
+        of[child] = tree.AddCategory(
+            parent, child < n ? labels[child] : std::string());
+      }
+    }
+  }
+  for (size_t g = 0; g < n; ++g) {
+    std::vector<ItemId> items = groups[g];
+    std::sort(items.begin(), items.end());
+    tree.mutable_node(of[g]).direct_items =
+        ItemSet::FromSorted(std::move(items));
+  }
+  return tree;
+}
+
+}  // namespace baselines
+}  // namespace oct

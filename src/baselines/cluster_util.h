@@ -1,0 +1,27 @@
+// Shared helper for the item-clustering baselines: converting a dendrogram
+// over item groups into a category tree.
+
+#ifndef OCT_BASELINES_CLUSTER_UTIL_H_
+#define OCT_BASELINES_CLUSTER_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "cct/agglomerative.h"
+#include "core/category_tree.h"
+
+namespace oct {
+namespace baselines {
+
+/// Builds a category tree from a dendrogram over item groups: each leaf
+/// becomes a category holding its group's items; merge nodes become
+/// structural categories under the root.
+CategoryTree TreeFromItemClusters(
+    const cct::Dendrogram& dendrogram,
+    const std::vector<std::vector<ItemId>>& groups,
+    const std::vector<std::string>& labels);
+
+}  // namespace baselines
+}  // namespace oct
+
+#endif  // OCT_BASELINES_CLUSTER_UTIL_H_

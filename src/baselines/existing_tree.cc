@@ -1,0 +1,56 @@
+#include "baselines/existing_tree.h"
+
+#include <map>
+
+namespace oct {
+namespace baselines {
+
+CategoryTree BuildExistingTree(const data::Catalog& catalog) {
+  CategoryTree tree;
+  const auto& schema = catalog.schema();
+  const size_t num_types = schema.attributes[0].values.size();
+  const bool has_brand = schema.attributes.size() > 1;
+
+  std::vector<NodeId> type_nodes(num_types, kInvalidNode);
+  std::map<std::pair<uint16_t, uint16_t>, NodeId> brand_nodes;
+
+  for (ItemId item = 0; item < catalog.num_items(); ++item) {
+    const uint16_t type = catalog.value(item, 0);
+    if (type_nodes[type] == kInvalidNode) {
+      type_nodes[type] =
+          tree.AddCategory(tree.root(), schema.attributes[0].values[type]);
+    }
+    NodeId target = type_nodes[type];
+    if (has_brand) {
+      const uint16_t brand = catalog.value(item, 1);
+      auto [it, inserted] = brand_nodes.try_emplace({type, brand});
+      if (inserted) {
+        it->second = tree.AddCategory(
+            type_nodes[type], schema.attributes[0].values[type] + "/" +
+                                  schema.attributes[1].values[brand]);
+      }
+      target = it->second;
+    }
+    tree.AssignItem(target, item);
+  }
+  return tree;
+}
+
+std::vector<CandidateSet> CategoriesAsCandidateSets(const CategoryTree& tree,
+                                                    double weight_each) {
+  std::vector<CandidateSet> out;
+  const auto item_sets = tree.ComputeItemSets();
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    if (!tree.IsAlive(id) || id == tree.root()) continue;
+    if (item_sets[id].empty()) continue;
+    CandidateSet cs;
+    cs.items = item_sets[id];
+    cs.weight = weight_each;
+    cs.label = tree.node(id).label;
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace oct

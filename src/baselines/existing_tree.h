@@ -1,0 +1,31 @@
+// The ET baseline: the "existing company tree" (created manually by
+// taxonomists). Our substitute derives it from the catalog's ground-truth
+// attribute hierarchy — product type at the first level, brand below —
+// which is exactly how e-commerce trees are conventionally organized. It is
+// also the tree used by the preprocessing branch-scatter filter and by the
+// conservative-update experiments (Table 1).
+
+#ifndef OCT_BASELINES_EXISTING_TREE_H_
+#define OCT_BASELINES_EXISTING_TREE_H_
+
+#include "core/category_tree.h"
+#include "data/catalog.h"
+
+namespace oct {
+namespace baselines {
+
+/// Builds the two-level existing tree: root -> type -> type/brand, items
+/// placed at the deepest matching category.
+CategoryTree BuildExistingTree(const data::Catalog& catalog);
+
+/// Extracts every non-root category of `tree` as a candidate set (used to
+/// add existing categories to the input for conservative updates — Section
+/// 2.3 and Table 1). Labels are the category labels; weights are uniform
+/// `weight_each`.
+std::vector<CandidateSet> CategoriesAsCandidateSets(const CategoryTree& tree,
+                                                    double weight_each);
+
+}  // namespace baselines
+}  // namespace oct
+
+#endif  // OCT_BASELINES_EXISTING_TREE_H_

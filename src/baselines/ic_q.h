@@ -1,0 +1,34 @@
+// IC-Q baseline (Section 5.2): item clustering by *set membership* — each
+// item is represented by the binary vector of input sets containing it, and
+// items are clustered agglomeratively over these vectors. A hybrid between
+// CCT (which clusters the sets) and IC-S (which clusters the items).
+//
+// Scalability adaptation (documented in DESIGN.md): items with identical
+// membership vectors are indistinguishable, so they are grouped into
+// signature clusters; the quadratic stage runs over distinct signatures
+// (capped, with rare signatures mapped to the most-overlapping frequent
+// one).
+
+#ifndef OCT_BASELINES_IC_Q_H_
+#define OCT_BASELINES_IC_Q_H_
+
+#include "core/category_tree.h"
+#include "core/input.h"
+
+namespace oct {
+namespace baselines {
+
+struct IcQOptions {
+  /// Hard cap on distinct signatures fed to the O(n^2) stage.
+  size_t max_clusters = 4096;
+};
+
+/// Builds a category tree by hierarchically clustering items over their
+/// input-set membership vectors.
+CategoryTree BuildIcQTree(const OctInput& input,
+                          const IcQOptions& options = {});
+
+}  // namespace baselines
+}  // namespace oct
+
+#endif  // OCT_BASELINES_IC_Q_H_

@@ -1,0 +1,69 @@
+#include "baselines/ic_s.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "baselines/cluster_util.h"
+#include "cct/agglomerative.h"
+#include "core/tree_ops.h"
+#include "util/logging.h"
+
+namespace oct {
+namespace baselines {
+
+CategoryTree BuildIcSTree(const data::Catalog& catalog, const OctInput& input,
+                          const IcSOptions& options) {
+  // Signature micro-clustering over the leading attributes, shrinking the
+  // signature until the cluster count fits the quadratic stage.
+  size_t k = std::min(options.signature_attributes, catalog.num_attributes());
+  std::map<std::vector<uint16_t>, std::vector<ItemId>> clusters;
+  for (; k >= 1; --k) {
+    clusters.clear();
+    std::vector<uint16_t> sig(k);
+    for (ItemId item = 0; item < catalog.num_items(); ++item) {
+      for (size_t a = 0; a < k; ++a) sig[a] = catalog.value(item, a);
+      clusters[sig].push_back(item);
+    }
+    if (clusters.size() <= options.max_clusters) break;
+    if (k == 1) break;
+  }
+
+  std::vector<std::vector<ItemId>> groups;
+  std::vector<std::string> labels;
+  std::vector<std::vector<uint16_t>> signatures;
+  groups.reserve(clusters.size());
+  for (auto& [sig, items] : clusters) {
+    signatures.push_back(sig);
+    std::string label;
+    for (size_t a = 0; a < sig.size(); ++a) {
+      if (a) label += "/";
+      label += catalog.ValueName(a, sig[a]);
+    }
+    labels.push_back(label);
+    groups.push_back(std::move(items));
+  }
+
+  // Centroid distance: signatures are one-hot blocks, so the squared
+  // Euclidean distance between centroids is 2 x (number of differing
+  // attributes); weight later attributes slightly less (title embeddings
+  // weigh the head of the title more).
+  auto distance = [&](size_t a, size_t b) {
+    double d2 = 0.0;
+    for (size_t i = 0; i < signatures[a].size(); ++i) {
+      if (signatures[a][i] != signatures[b][i]) {
+        d2 += 2.0 / (1.0 + 0.25 * static_cast<double>(i));
+      }
+    }
+    return std::sqrt(d2);
+  };
+  const cct::Dendrogram dendro =
+      cct::AgglomerativeCluster(groups.size(), distance);
+  CategoryTree tree = TreeFromItemClusters(dendro, groups, labels);
+  AddMiscCategory(input, &tree);
+  return tree;
+}
+
+}  // namespace baselines
+}  // namespace oct

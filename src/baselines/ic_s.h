@@ -1,0 +1,37 @@
+// IC-S baseline (Section 5.2): item clustering by *semantic* embeddings —
+// the adaptation of Hsieh et al. [18] with a domain-tuned title-embedding
+// model and hierarchical (instead of k-means) clustering. Unlike CCT it
+// clusters items directly and ignores the input sets entirely.
+//
+// Scalability adaptation (documented in DESIGN.md): items sharing the same
+// leading attribute values have near-identical title embeddings, so they are
+// grouped into signature micro-clusters first; the O(n^2) agglomerative
+// stage runs over the (weighted) micro-cluster centroids.
+
+#ifndef OCT_BASELINES_IC_S_H_
+#define OCT_BASELINES_IC_S_H_
+
+#include "core/category_tree.h"
+#include "core/input.h"
+#include "data/catalog.h"
+
+namespace oct {
+namespace baselines {
+
+struct IcSOptions {
+  /// Leading attributes used for the signature micro-clustering.
+  size_t signature_attributes = 3;
+  /// Hard cap on micro-clusters fed to the O(n^2) stage.
+  size_t max_clusters = 4096;
+};
+
+/// Builds a category tree by hierarchically clustering item title
+/// embeddings. `input` is used only for the final misc category (the tree
+/// must still place every universe item).
+CategoryTree BuildIcSTree(const data::Catalog& catalog, const OctInput& input,
+                          const IcSOptions& options = {});
+
+}  // namespace baselines
+}  // namespace oct
+
+#endif  // OCT_BASELINES_IC_S_H_

@@ -1,0 +1,115 @@
+#include "cct/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace cct {
+
+namespace {
+
+/// Condensed upper-triangular index for i < j over n slots.
+inline size_t CondensedIndex(size_t n, size_t i, size_t j) {
+  OCT_DCHECK_LT(i, j);
+  return i * n - i * (i + 1) / 2 + (j - i - 1);
+}
+
+}  // namespace
+
+Dendrogram AgglomerativeCluster(
+    size_t n, const std::function<double(size_t, size_t)>& distance,
+    Linkage linkage) {
+  Dendrogram dendro;
+  dendro.num_leaves = n;
+  if (n <= 1) return dendro;
+
+  // Condensed distance matrix (float to halve memory).
+  std::vector<float> dist(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      dist[CondensedIndex(n, i, j)] = static_cast<float>(distance(i, j));
+    }
+  }
+  auto d = [&](size_t a, size_t b) -> float& {
+    return a < b ? dist[CondensedIndex(n, a, b)]
+                 : dist[CondensedIndex(n, b, a)];
+  };
+
+  std::vector<char> active(n, 1);
+  std::vector<size_t> size(n, 1);
+  std::vector<uint32_t> node_id(n);
+  for (size_t i = 0; i < n; ++i) node_id[i] = static_cast<uint32_t>(i);
+
+  std::vector<size_t> chain;
+  chain.reserve(n);
+  size_t remaining = n;
+  uint32_t next_id = static_cast<uint32_t>(n);
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+      }
+    }
+    for (;;) {
+      const size_t top = chain.back();
+      // Nearest active neighbor; prefer the previous chain element on ties
+      // (guarantees progress), then the lowest slot.
+      size_t nearest = SIZE_MAX;
+      float best = std::numeric_limits<float>::infinity();
+      const size_t prev = chain.size() >= 2 ? chain[chain.size() - 2] : SIZE_MAX;
+      for (size_t k = 0; k < n; ++k) {
+        if (!active[k] || k == top) continue;
+        const float dk = d(top, k);
+        if (dk < best || (dk == best && k == prev)) {
+          best = dk;
+          nearest = k;
+        }
+      }
+      OCT_DCHECK(nearest != SIZE_MAX);
+      if (nearest == prev) {
+        // Reciprocal nearest neighbors: merge top and prev.
+        const size_t a = prev;
+        const size_t b = top;
+        chain.pop_back();
+        chain.pop_back();
+        dendro.merges.push_back({node_id[a], node_id[b], best});
+        // Lance-Williams update into slot a.
+        for (size_t k = 0; k < n; ++k) {
+          if (!active[k] || k == a || k == b) continue;
+          float nd = 0.0f;
+          switch (linkage) {
+            case Linkage::kAverage:
+              nd = (static_cast<float>(size[a]) * d(a, k) +
+                    static_cast<float>(size[b]) * d(b, k)) /
+                   static_cast<float>(size[a] + size[b]);
+              break;
+            case Linkage::kSingle:
+              nd = std::min(d(a, k), d(b, k));
+              break;
+            case Linkage::kComplete:
+              nd = std::max(d(a, k), d(b, k));
+              break;
+          }
+          d(a, k) = nd;
+        }
+        active[b] = 0;
+        size[a] += size[b];
+        node_id[a] = next_id++;
+        --remaining;
+        break;
+      }
+      chain.push_back(nearest);
+    }
+  }
+  OCT_DCHECK_EQ(dendro.merges.size(), n - 1);
+  return dendro;
+}
+
+}  // namespace cct
+}  // namespace oct

@@ -1,0 +1,97 @@
+#include "cct/cct.h"
+
+#include <string>
+
+#include "cct/embedding.h"
+#include "core/scoring.h"
+#include "core/tree_ops.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace oct {
+namespace cct {
+
+CategoryTree TreeFromDendrogram(const OctInput& input,
+                                const Dendrogram& dendrogram,
+                                std::vector<NodeId>* cat_of) {
+  const size_t n = dendrogram.num_leaves;
+  OCT_CHECK_EQ(n, input.num_sets());
+  CategoryTree tree;
+  // Dendrogram node id -> tree node. Built top-down from the root merge.
+  std::vector<NodeId> of(n + dendrogram.merges.size(), kInvalidNode);
+  if (n == 0) {
+    if (cat_of) cat_of->clear();
+    return tree;
+  }
+  if (n == 1) {
+    of[0] = tree.AddCategory(tree.root(), input.set(0).label, 0);
+  } else {
+    // The last merge is the top; attach it under the tree root, then expand
+    // merges in reverse order (parents are created before children).
+    of[dendrogram.RootId()] = tree.root();
+    for (size_t k = dendrogram.merges.size(); k-- > 0;) {
+      const auto& m = dendrogram.merges[k];
+      const NodeId parent = of[n + k];
+      OCT_DCHECK(parent != kInvalidNode);
+      for (uint32_t child : {m.left, m.right}) {
+        if (child < n) {
+          const std::string& label = input.set(child).label;
+          of[child] = tree.AddCategory(
+              parent,
+              label.empty() ? "C(q" + std::to_string(child) + ")" : label,
+              static_cast<SetId>(child));
+        } else {
+          of[child] = tree.AddCategory(parent, "");
+        }
+      }
+    }
+  }
+  if (cat_of) {
+    cat_of->assign(n, kInvalidNode);
+    for (SetId q = 0; q < n; ++q) (*cat_of)[q] = of[q];
+  }
+  return tree;
+}
+
+CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
+                            const CctOptions& options) {
+  OCT_CHECK(input.Validate().ok()) << input.Validate().ToString();
+  CctResult result;
+  const size_t n = input.num_sets();
+
+  // Line 1: embeddings.
+  Timer timer;
+  const Embeddings emb = EmbedInputSets(input, sim);
+  result.seconds_embed = timer.ElapsedSeconds();
+
+  // Lines 2-3: dendrogram -> tree template.
+  timer.Reset();
+  const Dendrogram dendro = AgglomerativeCluster(
+      n, [&](size_t a, size_t b) { return emb.Distance(a, b); },
+      options.linkage);
+  std::vector<NodeId> cat_of;
+  result.tree = TreeFromDendrogram(input, dendro, &cat_of);
+  result.seconds_cluster = timer.ElapsedSeconds();
+
+  // Line 4: Algorithm 2 over all input sets (items land in leaf categories).
+  timer.Reset();
+  AssignItemsOptions assign;
+  assign.target_sets.resize(n);
+  for (SetId q = 0; q < n; ++q) assign.target_sets[q] = q;
+  assign.cat_of = cat_of;
+  result.assignment = AssignItems(input, sim, assign, &result.tree);
+
+  // Lines 5-6: condense; line 7: misc category.
+  if (options.condense) {
+    CondenseTree(input, sim, &result.tree);
+  }
+  AddMiscCategory(input, &result.tree);
+  AnnotateCoveredSets(input, sim, &result.tree);
+  result.seconds_assign = timer.ElapsedSeconds();
+  OCT_DCHECK(result.tree.ValidateModel(input).ok())
+      << result.tree.ValidateModel(input).ToString();
+  return result;
+}
+
+}  // namespace cct
+}  // namespace oct

@@ -1,0 +1,51 @@
+// CCT — the Clustering-based Category Tree algorithm (Algorithm 3,
+// Section 4): embed the input sets by their similarity to every other set
+// ("global context"), cluster the embeddings agglomeratively, use the
+// dendrogram as the tree template (one leaf category per input set), then
+// run the shared item-assignment procedure (Algorithm 2) and condense.
+
+#ifndef OCT_CCT_CCT_H_
+#define OCT_CCT_CCT_H_
+
+#include <vector>
+
+#include "cct/agglomerative.h"
+#include "core/category_tree.h"
+#include "core/input.h"
+#include "core/item_assignment.h"
+#include "core/similarity.h"
+
+namespace oct {
+namespace cct {
+
+struct CctOptions {
+  Linkage linkage = Linkage::kAverage;
+  /// Disable to skip condensing — ablation knob.
+  bool condense = true;
+};
+
+struct CctResult {
+  CategoryTree tree;
+  AssignItemsStats assignment;
+  double seconds_embed = 0.0;
+  double seconds_cluster = 0.0;
+  double seconds_assign = 0.0;
+};
+
+/// Runs CCT for any of the six variants. O(n^2) memory in the number of
+/// input sets (the condensed distance matrix).
+CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
+                            const CctOptions& options = {});
+
+/// Converts a dendrogram over the input sets into a category tree: leaves
+/// become categories dedicated to their input set, internal merge nodes
+/// become unlabeled structural categories under the root. `cat_of` (if
+/// non-null) receives the leaf category of each set.
+CategoryTree TreeFromDendrogram(const OctInput& input,
+                                const Dendrogram& dendrogram,
+                                std::vector<NodeId>* cat_of);
+
+}  // namespace cct
+}  // namespace oct
+
+#endif  // OCT_CCT_CCT_H_

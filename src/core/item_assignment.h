@@ -1,0 +1,65 @@
+// Algorithm 2 of the paper: the iterative greedy item-assignment procedure
+// shared by CTCR (general variant) and CCT.
+//
+// Given a tree whose categories were created for a conflict-free collection
+// of input sets S (CTCR) or for all input sets (CCT), the procedure assigns
+// the remaining unassigned items ("duplicates" — items that appear in
+// separately-covered sets and therefore must be partitioned):
+//
+//   1. While some uncovered set can still be covered by the remaining
+//      duplicates: pick the set q̂ with the highest *gain factor*
+//      (weight / cover gap), choose the cover-gap-many duplicates with the
+//      highest *branch gain*, and assign each to the lowest relevant
+//      category on its best branch.
+//   2. Assign leftover duplicates one by one to the category with the
+//      highest marginal gain to the cutoff score.
+//
+// Per-item bounds > 1 are honored: an item may be placed on up to
+// `bound` distinct branches (never twice on one branch).
+
+#ifndef OCT_CORE_ITEM_ASSIGNMENT_H_
+#define OCT_CORE_ITEM_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "core/category_tree.h"
+#include "core/input.h"
+#include "core/similarity.h"
+
+namespace oct {
+
+/// Parameters for AssignItems.
+struct AssignItemsOptions {
+  /// The sets to target (the conflict-free S for CTCR; all of Q for CCT).
+  std::vector<SetId> target_sets;
+  /// Category created for each set: SetId -> NodeId; kInvalidNode when the
+  /// set has no dedicated category. Size must equal input.num_sets().
+  std::vector<NodeId> cat_of;
+};
+
+/// Statistics returned by AssignItems (for logging and tests).
+struct AssignItemsStats {
+  size_t sets_covered_by_duplicates = 0;
+  size_t duplicates_assigned = 0;
+  size_t leftover_assigned = 0;
+  size_t sets_skipped_to_protect_covers = 0;
+};
+
+/// Runs Algorithm 2 on `tree`, mutating direct item placements only (the
+/// tree structure is left untouched). `sim` may be a threshold variant; the
+/// marginal-gain stage uses its cutoff counterpart, and coverage is never
+/// traded away to raise scores beyond the threshold.
+AssignItemsStats AssignItems(const OctInput& input, const Similarity& sim,
+                             const AssignItemsOptions& options,
+                             CategoryTree* tree);
+
+/// Minimum number of items from q that must be added to a category with
+/// `c_size` items, `inter` of them shared with q, for the category to cover
+/// q (all additions coming from q itself, placed inside the category's
+/// subtree). Returns SIZE_MAX when no number of additions can cover q.
+size_t CoverGapFromSizes(const Similarity& sim, size_t q_size, size_t c_size,
+                         size_t inter, double delta_override = -1.0);
+
+}  // namespace oct
+
+#endif  // OCT_CORE_ITEM_ASSIGNMENT_H_

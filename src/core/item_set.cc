@@ -1,0 +1,151 @@
+#include "core/item_set.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oct {
+
+ItemSet::ItemSet(std::vector<ItemId> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+ItemSet::ItemSet(std::initializer_list<ItemId> items)
+    : ItemSet(std::vector<ItemId>(items)) {}
+
+ItemSet ItemSet::FromSorted(std::vector<ItemId> sorted_unique) {
+  OCT_DCHECK(std::is_sorted(sorted_unique.begin(), sorted_unique.end()));
+  OCT_DCHECK(std::adjacent_find(sorted_unique.begin(), sorted_unique.end()) ==
+             sorted_unique.end());
+  ItemSet s;
+  s.items_ = std::move(sorted_unique);
+  return s;
+}
+
+bool ItemSet::Contains(ItemId id) const {
+  return std::binary_search(items_.begin(), items_.end(), id);
+}
+
+size_t ItemSet::IntersectionSize(const ItemSet& other) const {
+  const auto& a = items_;
+  const auto& b = other.items_;
+  // Galloping when sizes are very skewed; linear merge otherwise.
+  if (a.size() * 16 < b.size() || b.size() * 16 < a.size()) {
+    const auto& small = a.size() < b.size() ? a : b;
+    const auto& big = a.size() < b.size() ? b : a;
+    size_t count = 0;
+    auto it = big.begin();
+    for (ItemId id : small) {
+      it = std::lower_bound(it, big.end(), id);
+      if (it == big.end()) break;
+      if (*it == id) {
+        ++count;
+        ++it;
+      }
+    }
+    return count;
+  }
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool ItemSet::Intersects(const ItemSet& other) const {
+  const auto& a = items_;
+  const auto& b = other.items_;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ItemSet::IsSubsetOf(const ItemSet& other) const {
+  if (size() > other.size()) return false;
+  return std::includes(other.items_.begin(), other.items_.end(),
+                       items_.begin(), items_.end());
+}
+
+ItemSet ItemSet::Intersect(const ItemSet& other) const {
+  std::vector<ItemId> out;
+  out.reserve(std::min(size(), other.size()));
+  std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+ItemSet ItemSet::Union(const ItemSet& other) const {
+  std::vector<ItemId> out;
+  out.reserve(size() + other.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+ItemSet ItemSet::Difference(const ItemSet& other) const {
+  std::vector<ItemId> out;
+  out.reserve(size());
+  std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                      other.items_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+void ItemSet::UnionInPlace(const ItemSet& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    items_ = other.items_;
+    return;
+  }
+  std::vector<ItemId> out;
+  out.reserve(size() + other.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(out));
+  items_ = std::move(out);
+}
+
+void ItemSet::Insert(ItemId id) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), id);
+  if (it != items_.end() && *it == id) return;
+  items_.insert(it, id);
+}
+
+void ItemSet::Erase(ItemId id) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), id);
+  if (it != items_.end() && *it == id) items_.erase(it);
+}
+
+std::string ItemSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(items_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+ItemSet ItemSet::UnionOf(const std::vector<const ItemSet*>& sets) {
+  ItemSet acc;
+  for (const ItemSet* s : sets) acc.UnionInPlace(*s);
+  return acc;
+}
+
+}  // namespace oct

@@ -1,0 +1,129 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace oct {
+
+namespace {
+
+/// item -> nodes where the item is a direct (most-specific) placement.
+std::vector<std::vector<NodeId>> BuildDirectIndex(const CategoryTree& tree,
+                                                  size_t universe_size) {
+  std::vector<std::vector<NodeId>> index(universe_size);
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    if (!tree.IsAlive(id)) continue;
+    for (ItemId item : tree.node(id).direct_items) {
+      OCT_DCHECK_LT(item, universe_size);
+      index[item].push_back(id);
+    }
+  }
+  return index;
+}
+
+SetCover ScoreOneSet(const OctInput& input, const CategoryTree& tree,
+                     const Similarity& sim,
+                     const std::vector<std::vector<NodeId>>& direct_index,
+                     const std::vector<size_t>& sizes, SetId q) {
+  const CandidateSet& cs = input.set(q);
+  // Intersection size of q with every category that shares an item with it:
+  // bump the direct node and all its ancestors once per shared item.
+  std::unordered_map<NodeId, size_t> inter;
+  for (ItemId item : cs.items) {
+    for (NodeId leaf_node : direct_index[item]) {
+      NodeId cur = leaf_node;
+      while (cur != kInvalidNode) {
+        ++inter[cur];
+        cur = tree.node(cur).parent;
+      }
+    }
+  }
+  SetCover cover;
+  double best_precision = -1.0;
+  size_t best_depth = 0;
+  for (const auto& [node, count] : inter) {
+    const double raw = sim.RawFromSizes(cs.items.size(), sizes[node], count);
+    const double score = sim.ScoreFromSizes(cs.items.size(), sizes[node],
+                                            count, cs.delta_override);
+    const double precision = PrecisionFromSizes(sizes[node], count);
+    const size_t depth = tree.Depth(node);
+    // Prefer higher score; break ties toward higher precision (paper: "we
+    // retain the one with the highest precision"), then toward the deeper
+    // (more specific) category, so dedicated categories beat ancestors that
+    // merely contain them.
+    bool better = cover.best_node == kInvalidNode || score > cover.score;
+    if (!better && score == cover.score) {
+      better =
+          precision > best_precision ||
+          (precision == best_precision &&
+           (raw > cover.raw ||
+            (raw == cover.raw &&
+             (depth > best_depth ||
+              (depth == best_depth && node < cover.best_node)))));
+    }
+    if (better) {
+      cover.score = score;
+      cover.raw = raw;
+      cover.best_node = node;
+      best_precision = precision;
+      best_depth = depth;
+    }
+  }
+  cover.covered = cover.score > 0.0;
+  return cover;
+}
+
+}  // namespace
+
+TreeScore ScoreTree(const OctInput& input, const CategoryTree& tree,
+                    const Similarity& sim, ThreadPool* pool) {
+  TreeScore result;
+  result.per_set.resize(input.num_sets());
+  const auto direct_index = BuildDirectIndex(tree, input.universe_size());
+  const auto sizes = tree.ComputeItemSetSizes();
+
+  auto worker = [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      result.per_set[q] = ScoreOneSet(input, tree, sim, direct_index, sizes,
+                                      static_cast<SetId>(q));
+    }
+  };
+  if (pool == nullptr && input.num_sets() >= 256) {
+    pool = DefaultThreadPool();
+  }
+  if (pool != nullptr) {
+    pool->ParallelFor(input.num_sets(), worker);
+  } else {
+    worker(0, input.num_sets());
+  }
+
+  double total = 0.0;
+  size_t covered = 0;
+  for (SetId q = 0; q < input.num_sets(); ++q) {
+    total += input.set(q).weight * result.per_set[q].score;
+    if (result.per_set[q].covered) ++covered;
+  }
+  result.total = total;
+  result.num_covered = covered;
+  const double denom = input.TotalWeight();
+  result.normalized = denom > 0.0 ? total / denom : 0.0;
+  return result;
+}
+
+void AnnotateCoveredSets(const OctInput& input, const Similarity& sim,
+                         CategoryTree* tree) {
+  for (NodeId id = 0; id < tree->num_nodes(); ++id) {
+    tree->mutable_node(id).covered_sets.clear();
+  }
+  const TreeScore score = ScoreTree(input, *tree, sim);
+  for (SetId q = 0; q < input.num_sets(); ++q) {
+    const SetCover& c = score.per_set[q];
+    if (c.covered && c.best_node != kInvalidNode) {
+      tree->mutable_node(c.best_node).covered_sets.push_back(q);
+    }
+  }
+}
+
+}  // namespace oct

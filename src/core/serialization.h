@@ -1,0 +1,51 @@
+// Persistence for OCT inputs and category trees: a line-oriented text
+// format, versioned, with percent-escaped labels. Production deployments
+// regenerate trees every 90 days (Section 5.1); persisting inputs and trees
+// makes runs auditable and lets taxonomists diff revisions.
+//
+// Format (one record per line, space-separated):
+//   octree-input v1
+//   universe <size>
+//   bounds <b0> <b1> ...            (optional; omitted when all 1)
+//   set <weight> <delta|-> <label> : <item> <item> ...
+//
+//   octree-tree v1
+//   nodes <count>
+//   node <id> <parent|-> <source_set|-> <label> : <direct item> ...
+// Node ids are pre-order-compacted; id 0 is the root.
+
+#ifndef OCT_CORE_SERIALIZATION_H_
+#define OCT_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/category_tree.h"
+#include "core/input.h"
+#include "util/status.h"
+
+namespace oct {
+
+/// Escapes a label for embedding in the line format (space, %, newline).
+std::string EscapeLabel(const std::string& label);
+/// Reverses EscapeLabel. Invalid escapes are kept verbatim.
+std::string UnescapeLabel(const std::string& escaped);
+
+/// Renders `input` in the octree-input v1 format.
+std::string SerializeInput(const OctInput& input);
+
+/// Parses an octree-input v1 document.
+Result<OctInput> ParseInput(const std::string& text);
+
+/// Renders `tree` (alive nodes only, ids compacted) in octree-tree v1.
+std::string SerializeTree(const CategoryTree& tree);
+
+/// Parses an octree-tree v1 document.
+Result<CategoryTree> ParseTree(const std::string& text);
+
+/// Convenience file I/O.
+Status WriteFile(const std::string& path, const std::string& contents);
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace oct
+
+#endif  // OCT_CORE_SERIALIZATION_H_

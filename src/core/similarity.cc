@@ -1,0 +1,145 @@
+#include "core/similarity.h"
+
+#include "util/logging.h"
+#include "util/table_writer.h"
+
+namespace oct {
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kJaccardCutoff:
+      return "cutoff-Jaccard";
+    case Variant::kJaccardThreshold:
+      return "threshold-Jaccard";
+    case Variant::kF1Cutoff:
+      return "cutoff-F1";
+    case Variant::kF1Threshold:
+      return "threshold-F1";
+    case Variant::kPerfectRecall:
+      return "Perfect-Recall";
+    case Variant::kExact:
+      return "Exact";
+  }
+  return "?";
+}
+
+bool IsBinaryVariant(Variant v) {
+  switch (v) {
+    case Variant::kJaccardThreshold:
+    case Variant::kF1Threshold:
+    case Variant::kPerfectRecall:
+    case Variant::kExact:
+      return true;
+    case Variant::kJaccardCutoff:
+    case Variant::kF1Cutoff:
+      return false;
+  }
+  return false;
+}
+
+double JaccardFromSizes(size_t q_size, size_t c_size, size_t inter) {
+  OCT_DCHECK_LE(inter, q_size);
+  OCT_DCHECK_LE(inter, c_size);
+  const size_t uni = q_size + c_size - inter;
+  if (uni == 0) return 1.0;  // Both empty: identical.
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double PrecisionFromSizes(size_t c_size, size_t inter) {
+  if (c_size == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(c_size);
+}
+
+double RecallFromSizes(size_t q_size, size_t inter) {
+  if (q_size == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(q_size);
+}
+
+double F1FromSizes(size_t q_size, size_t c_size, size_t inter) {
+  // Harmonic mean of precision and recall simplifies to 2|q∩C|/(|q|+|C|).
+  const size_t denom = q_size + c_size;
+  if (denom == 0) return 1.0;
+  return 2.0 * static_cast<double>(inter) / static_cast<double>(denom);
+}
+
+Similarity::Similarity(Variant variant, double delta)
+    : variant_(variant), delta_(delta) {
+  OCT_CHECK_GT(delta, 0.0);
+  OCT_CHECK_LE(delta, 1.0);
+  if (variant == Variant::kExact) {
+    OCT_CHECK_EQ(delta, 1.0);
+  }
+}
+
+double Similarity::RawFromSizes(size_t q_size, size_t c_size,
+                                size_t inter) const {
+  switch (variant_) {
+    case Variant::kJaccardCutoff:
+    case Variant::kJaccardThreshold:
+      return JaccardFromSizes(q_size, c_size, inter);
+    case Variant::kF1Cutoff:
+    case Variant::kF1Threshold:
+      return F1FromSizes(q_size, c_size, inter);
+    case Variant::kPerfectRecall:
+      // Raw score meaningful only under perfect recall.
+      if (inter == q_size) return PrecisionFromSizes(c_size, inter);
+      return 0.0;
+    case Variant::kExact:
+      return (q_size == c_size && inter == q_size) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double Similarity::ScoreFromSizes(size_t q_size, size_t c_size, size_t inter,
+                                  double delta_override) const {
+  const double delta = delta_override >= 0.0 ? delta_override : delta_;
+  const double raw = RawFromSizes(q_size, c_size, inter);
+  // Guard against floating-point jitter at the threshold boundary.
+  constexpr double kEps = 1e-12;
+  const bool reaches = raw + kEps >= delta;
+  switch (variant_) {
+    case Variant::kJaccardCutoff:
+    case Variant::kF1Cutoff:
+      return reaches ? raw : 0.0;
+    case Variant::kJaccardThreshold:
+    case Variant::kF1Threshold:
+    case Variant::kPerfectRecall:
+    case Variant::kExact:
+      return reaches ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double Similarity::Score(const ItemSet& q, const ItemSet& c,
+                         double delta_override) const {
+  return ScoreFromSizes(q.size(), c.size(), q.IntersectionSize(c),
+                        delta_override);
+}
+
+bool Similarity::CoversFromSizes(size_t q_size, size_t c_size, size_t inter,
+                                 double delta_override) const {
+  return ScoreFromSizes(q_size, c_size, inter, delta_override) > 0.0;
+}
+
+bool Similarity::Covers(const ItemSet& q, const ItemSet& c,
+                        double delta_override) const {
+  return Score(q, c, delta_override) > 0.0;
+}
+
+Similarity Similarity::CutoffCounterpart() const {
+  switch (variant_) {
+    case Variant::kJaccardThreshold:
+      return Similarity(Variant::kJaccardCutoff, delta_);
+    case Variant::kF1Threshold:
+      return Similarity(Variant::kF1Cutoff, delta_);
+    default:
+      return *this;
+  }
+}
+
+std::string Similarity::ToString() const {
+  return std::string(VariantName(variant_)) + "(delta=" +
+         TableWriter::Num(delta_, 2) + ")";
+}
+
+}  // namespace oct

@@ -1,0 +1,92 @@
+// The six OCT similarity variants of Section 2.2:
+//   cutoff Jaccard, threshold Jaccard, cutoff F1, threshold F1,
+//   Perfect-Recall, and Exact,
+// each parameterized by a threshold delta in (0, 1].
+//
+// All scores are computable from the triple (|q|, |C|, |q ∩ C|) alone, which
+// keeps conflict checks and scoring allocation-free.
+
+#ifndef OCT_CORE_SIMILARITY_H_
+#define OCT_CORE_SIMILARITY_H_
+
+#include <string>
+
+#include "core/item_set.h"
+
+namespace oct {
+
+/// Which OCT similarity variant the objective uses.
+enum class Variant {
+  kJaccardCutoff,
+  kJaccardThreshold,
+  kF1Cutoff,
+  kF1Threshold,
+  kPerfectRecall,
+  kExact,
+};
+
+/// Human-readable variant name ("threshold-Jaccard", ...).
+const char* VariantName(Variant v);
+
+/// True for the binary variants (threshold Jaccard/F1, Perfect-Recall,
+/// Exact) whose score is 0 or 1.
+bool IsBinaryVariant(Variant v);
+
+/// Raw (un-thresholded) set similarities from sizes.
+/// Preconditions: inter <= min(q_size, c_size).
+double JaccardFromSizes(size_t q_size, size_t c_size, size_t inter);
+double PrecisionFromSizes(size_t c_size, size_t inter);
+double RecallFromSizes(size_t q_size, size_t inter);
+double F1FromSizes(size_t q_size, size_t c_size, size_t inter);
+
+/// A similarity variant with its threshold parameter.
+///
+/// The per-variant semantics of Score() follow Section 2.2:
+///  - cutoff:   raw score if raw >= delta, else 0;
+///  - threshold: 1 if raw >= delta, else 0;
+///  - Perfect-Recall: 1 if recall == 1 and precision >= delta, else 0;
+///  - Exact:    1 if q == C, else 0 (any variant with delta == 1 where the
+///              underlying function only reaches 1 on equality coincides
+///              with Exact).
+class Similarity {
+ public:
+  Similarity(Variant variant, double delta);
+
+  Variant variant() const { return variant_; }
+  double delta() const { return delta_; }
+
+  /// S(q, C) per the variant, from sizes. `delta_override` (if >= 0)
+  /// replaces the instance threshold — used for per-input-set thresholds.
+  double ScoreFromSizes(size_t q_size, size_t c_size, size_t inter,
+                        double delta_override = -1.0) const;
+
+  /// S(q, C) on materialized sets.
+  double Score(const ItemSet& q, const ItemSet& c,
+               double delta_override = -1.0) const;
+
+  /// The raw underlying score (before cutoff/threshold semantics). For
+  /// Perfect-Recall this is precision when recall is 1, else 0; for Exact it
+  /// is 1 on equality, else 0.
+  double RawFromSizes(size_t q_size, size_t c_size, size_t inter) const;
+
+  /// Whether C covers q: score reaches the threshold (Section 2.2 "cover
+  /// terminology").
+  bool CoversFromSizes(size_t q_size, size_t c_size, size_t inter,
+                       double delta_override = -1.0) const;
+  bool Covers(const ItemSet& q, const ItemSet& c,
+              double delta_override = -1.0) const;
+
+  /// The cutoff counterpart used internally by the general CTCR algorithm
+  /// ("handles any threshold function as its cutoff counterpart").
+  Similarity CutoffCounterpart() const;
+
+  std::string ToString() const;
+
+ private:
+  Variant variant_;
+  double delta_;
+};
+
+}  // namespace oct
+
+#endif  // OCT_CORE_SIMILARITY_H_

@@ -1,0 +1,49 @@
+// Quantitative comparison of two category trees — the metric behind the
+// "continual conservative updates" requirement (Section 2.3): a regenerated
+// tree should not be radically different from the existing one. Each
+// category of the new tree is matched to its most similar (Jaccard)
+// category of the old tree; the diff reports how well categories persist
+// and how many items changed their most-specific placement.
+
+#ifndef OCT_CORE_TREE_DIFF_H_
+#define OCT_CORE_TREE_DIFF_H_
+
+#include <vector>
+
+#include "core/category_tree.h"
+
+namespace oct {
+
+struct TreeDiff {
+  /// Mean over new categories of the best Jaccard similarity to any old
+  /// category (1 = every category persisted verbatim).
+  double mean_category_overlap = 0.0;
+  /// New categories whose best old match has Jaccard >= 0.5.
+  size_t matched_categories = 0;
+  /// New categories with no old match at Jaccard >= 0.5 ("new concepts").
+  size_t novel_categories = 0;
+  /// Old categories that no new category matches at Jaccard >= 0.5.
+  size_t dropped_categories = 0;
+  /// Items whose most-specific category moved: the item's new most-specific
+  /// category maps (by best Jaccard) to an old category that differs from
+  /// the item's old most-specific category.
+  size_t items_moved = 0;
+  /// Items placed in both trees (denominator for items_moved).
+  size_t items_compared = 0;
+
+  /// Fraction of compared items that kept their placement.
+  double ItemStability() const {
+    if (items_compared == 0) return 1.0;
+    return 1.0 - static_cast<double>(items_moved) /
+                     static_cast<double>(items_compared);
+  }
+};
+
+/// Compares `new_tree` against `old_tree`. Root and misc categories are
+/// excluded from category matching (they are structural, not curated).
+TreeDiff CompareTrees(const CategoryTree& old_tree,
+                      const CategoryTree& new_tree);
+
+}  // namespace oct
+
+#endif  // OCT_CORE_TREE_DIFF_H_

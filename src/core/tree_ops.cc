@@ -1,0 +1,170 @@
+#include "core/tree_ops.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "core/scoring.h"
+#include "util/logging.h"
+
+namespace oct {
+
+namespace {
+
+/// Associated set of a category for the intermediate-parent step: its source
+/// set's items, or (for intermediates) the union of its children's sets.
+ItemSet AssociatedSet(const OctInput& input, const CategoryTree& tree,
+                      NodeId node) {
+  const SetId s = tree.node(node).source_set;
+  if (s != kInvalidSet) return input.set(s).items;
+  return tree.ItemSetOf(node);
+}
+
+}  // namespace
+
+size_t AddIntermediateCategories(const OctInput& input, CategoryTree* tree) {
+  size_t added = 0;
+  // Iterate over a snapshot of non-leaf nodes; newly added intermediates are
+  // processed by the inner while loop of their parent.
+  std::vector<NodeId> non_leaves;
+  for (NodeId id : tree->PreOrder()) {
+    if (!tree->IsLeaf(id)) non_leaves.push_back(id);
+  }
+  for (NodeId parent : non_leaves) {
+    if (!tree->IsAlive(parent)) continue;
+    // Associated sets of the current children; slots go dead when merged.
+    // Pairwise intersections are computed once up front and incrementally
+    // for new intermediates, with a lazy max-heap over shared fractions —
+    // the naive recompute-all-pairs loop is cubic in the sibling count.
+    std::vector<NodeId> slot_node = tree->node(parent).children;
+    std::vector<ItemSet> assoc;
+    std::vector<char> alive(slot_node.size(), 1);
+    assoc.reserve(slot_node.size());
+    for (NodeId c : slot_node) assoc.push_back(AssociatedSet(input, *tree, c));
+
+    struct PairEntry {
+      double frac;
+      size_t i, j;
+      bool operator<(const PairEntry& other) const {
+        return frac < other.frac;
+      }
+    };
+    std::priority_queue<PairEntry> heap;
+    auto push_pair = [&](size_t i, size_t j) {
+      const size_t inter = assoc[i].IntersectionSize(assoc[j]);
+      if (inter == 0) return;
+      const double frac =
+          static_cast<double>(inter) /
+          static_cast<double>(std::min(assoc[i].size(), assoc[j].size()));
+      heap.push({frac, i, j});
+    };
+    for (size_t i = 0; i < slot_node.size(); ++i) {
+      for (size_t j = i + 1; j < slot_node.size(); ++j) push_pair(i, j);
+    }
+    size_t live_children = slot_node.size();
+    while (live_children > 2 && !heap.empty()) {
+      const PairEntry top = heap.top();
+      heap.pop();
+      if (!alive[top.i] || !alive[top.j]) continue;  // Stale entry.
+      const NodeId a = slot_node[top.i];
+      const NodeId b = slot_node[top.j];
+      const NodeId inter_node = tree->AddCategory(
+          parent, tree->node(a).label + "+" + tree->node(b).label);
+      tree->MoveNode(a, inter_node);
+      tree->MoveNode(b, inter_node);
+      ++added;
+      alive[top.i] = 0;
+      alive[top.j] = 0;
+      slot_node.push_back(inter_node);
+      assoc.push_back(assoc[top.i].Union(assoc[top.j]));
+      alive.push_back(1);
+      --live_children;  // Two out, one in.
+      const size_t m = slot_node.size() - 1;
+      for (size_t k = 0; k < m; ++k) {
+        if (alive[k]) push_pair(k, m);
+      }
+    }
+  }
+  return added;
+}
+
+CondenseStats CondenseTree(const OctInput& input, const Similarity& sim,
+                           CategoryTree* tree,
+                           const std::vector<NodeId>& protect) {
+  CondenseStats stats;
+  // Determine coverage and designated best covers.
+  AnnotateCoveredSets(input, sim, tree);
+  std::vector<char> set_covered(input.num_sets(), 0);
+  for (NodeId id = 0; id < tree->num_nodes(); ++id) {
+    if (!tree->IsAlive(id)) continue;
+    for (SetId q : tree->node(id).covered_sets) set_covered[q] = 1;
+  }
+
+  // Line 24: remove items that only appear in uncovered sets.
+  const auto index = input.BuildInvertedIndex();
+  std::unordered_set<ItemId> removable;
+  for (ItemId item = 0; item < input.universe_size(); ++item) {
+    if (index[item].empty()) continue;  // Not in any input set.
+    bool in_covered = false;
+    for (SetId q : index[item]) {
+      if (set_covered[q]) {
+        in_covered = true;
+        break;
+      }
+    }
+    if (!in_covered) removable.insert(item);
+  }
+  if (!removable.empty()) {
+    for (NodeId id = 0; id < tree->num_nodes(); ++id) {
+      if (!tree->IsAlive(id)) continue;
+      auto& node = tree->mutable_node(id);
+      std::vector<ItemId> kept;
+      kept.reserve(node.direct_items.size());
+      for (ItemId item : node.direct_items) {
+        if (removable.count(item)) {
+          ++stats.items_removed;
+        } else {
+          kept.push_back(item);
+        }
+      }
+      if (kept.size() != node.direct_items.size()) {
+        node.direct_items = ItemSet::FromSorted(std::move(kept));
+      }
+    }
+    // Item removal can change precisions, hence coverage; re-annotate.
+    AnnotateCoveredSets(input, sim, tree);
+  }
+
+  // Line 25: remove categories that are the best cover of no set. Children
+  // re-attach to the parent and direct items merge upward, so surviving
+  // categories keep their full item sets.
+  std::unordered_set<NodeId> protected_nodes(protect.begin(), protect.end());
+  for (NodeId id : tree->PostOrder()) {
+    if (id == tree->root() || !tree->IsAlive(id)) continue;
+    if (protected_nodes.count(id)) continue;
+    if (tree->node(id).covered_sets.empty()) {
+      tree->RemoveNodeKeepChildren(id);
+      ++stats.categories_removed;
+    }
+  }
+  return stats;
+}
+
+NodeId AddMiscCategory(const OctInput& input, CategoryTree* tree) {
+  std::vector<char> placed(input.universe_size(), 0);
+  for (NodeId id = 0; id < tree->num_nodes(); ++id) {
+    if (!tree->IsAlive(id)) continue;
+    for (ItemId item : tree->node(id).direct_items) placed[item] = 1;
+  }
+  std::vector<ItemId> unassigned;
+  for (ItemId item = 0; item < input.universe_size(); ++item) {
+    if (!placed[item]) unassigned.push_back(item);
+  }
+  if (unassigned.empty()) return kInvalidNode;
+  const NodeId misc = tree->AddCategory(tree->root(), "misc");
+  tree->mutable_node(misc).direct_items =
+      ItemSet::FromSorted(std::move(unassigned));
+  return misc;
+}
+
+}  // namespace oct

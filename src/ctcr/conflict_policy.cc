@@ -1,0 +1,98 @@
+#include "ctcr/conflict_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace ctcr {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+size_t FloorSafe(double x) {
+  if (x <= 0.0) return 0;
+  return static_cast<size_t>(std::floor(x + kEps));
+}
+
+size_t CeilSafe(double x) {
+  if (x <= 0.0) return 0;
+  return static_cast<size_t>(std::ceil(x - kEps));
+}
+}  // namespace
+
+bool ConflictPolicy::CanCoverTogether(const PairStats& p) const {
+  const double d_hi = EffectiveDelta(p.hi_delta);
+  const double d_lo = EffectiveDelta(p.lo_delta);
+  const double hi = static_cast<double>(p.hi_size);
+  const double lo = static_cast<double>(p.lo_size);
+  const double inter = static_cast<double>(p.inter);
+  switch (sim_.variant()) {
+    case Variant::kExact:
+      // The higher category must equal q1 and contain the lower (= q2).
+      return p.inter == p.lo_size;
+    case Variant::kPerfectRecall: {
+      // C(q2) = q2, C(q1) = q1 ∪ q2; q1's precision is |q1| / |q1 ∪ q2|.
+      const double precision = hi / (hi + lo - inter);
+      return precision + kEps >= d_hi;
+    }
+    case Variant::kJaccardCutoff:
+    case Variant::kJaccardThreshold: {
+      // Minimum items outside the intersection the lower cover must keep:
+      // y2 = max{0, ceil(δ2·|q2|) - |I|}; these land in the higher category
+      // as precision errors, tolerable while y2 <= |q1|(1-δ1)/δ1.
+      const size_t y2 =
+          p.inter >= CeilSafe(d_lo * lo) ? 0 : CeilSafe(d_lo * lo) - p.inter;
+      return static_cast<double>(y2) <= hi * (1.0 - d_hi) / d_hi + kEps;
+    }
+    case Variant::kF1Cutoff:
+    case Variant::kF1Threshold: {
+      // Minimum cover size of q2: ceil(δ2·|q2| / (2-δ2)); F1 of the higher
+      // category over q1 with y2 foreign items: 2|q1| / (2|q1| + y2) >= δ1.
+      const size_t min_cover = CeilSafe(d_lo * lo / (2.0 - d_lo));
+      const size_t y2 = p.inter >= min_cover ? 0 : min_cover - p.inter;
+      return static_cast<double>(y2) <= 2.0 * hi * (1.0 - d_hi) / d_hi + kEps;
+    }
+  }
+  return false;
+}
+
+bool ConflictPolicy::CanCoverSeparately(const PairStats& p) const {
+  OCT_DCHECK_LE(p.inter_strict, p.inter);
+  const double d_hi = EffectiveDelta(p.hi_delta);
+  const double d_lo = EffectiveDelta(p.lo_delta);
+  // Only the strictly-bounded shared items need partitioning.
+  const size_t shared = p.inter_strict;
+  switch (sim_.variant()) {
+    case Variant::kExact:
+    case Variant::kPerfectRecall:
+      // Recall must be perfect, so no shared strict item may be dropped.
+      return shared == 0;
+    case Variant::kJaccardCutoff:
+    case Variant::kJaccardThreshold: {
+      // Each side may exclude up to floor(|qi|(1-δi)) of its own items.
+      const size_t x1 = std::min(
+          FloorSafe(static_cast<double>(p.hi_size) * (1.0 - d_hi)), shared);
+      const size_t x2 = std::min(
+          FloorSafe(static_cast<double>(p.lo_size) * (1.0 - d_lo)), shared);
+      return shared <= x1 + x2;
+    }
+    case Variant::kF1Cutoff:
+    case Variant::kF1Threshold: {
+      // Minimum cover of qi has ceil(δi·|qi|/(2-δi)) items, so qi can
+      // exclude |qi| minus that many.
+      const size_t min1 =
+          CeilSafe(d_hi * static_cast<double>(p.hi_size) / (2.0 - d_hi));
+      const size_t min2 =
+          CeilSafe(d_lo * static_cast<double>(p.lo_size) / (2.0 - d_lo));
+      const size_t x1 = std::min(p.hi_size - std::min(p.hi_size, min1), shared);
+      const size_t x2 = std::min(p.lo_size - std::min(p.lo_size, min2), shared);
+      return shared <= x1 + x2;
+    }
+  }
+  return false;
+}
+
+}  // namespace ctcr
+}  // namespace oct

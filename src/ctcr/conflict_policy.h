@@ -1,0 +1,68 @@
+// Per-variant closed forms deciding whether two input sets can be covered
+// *together* (by categories on one branch) or *separately* (on different
+// branches) — Section 3 of the paper. A pair that can be covered neither way
+// is a 2-conflict.
+//
+// Conventions: `hi` denotes the set of the lower rank number (larger set,
+// placed higher on the branch), `lo` the higher rank number (placed lower).
+// All decisions are functions of (|hi|, |lo|, |hi ∩ lo|) and the per-set
+// thresholds; with relaxed per-item bounds, `inter_strict` counts only the
+// shared items of bound 1 (items with larger bounds need no partitioning).
+
+#ifndef OCT_CTCR_CONFLICT_POLICY_H_
+#define OCT_CTCR_CONFLICT_POLICY_H_
+
+#include <cstddef>
+
+#include "core/similarity.h"
+
+namespace oct {
+namespace ctcr {
+
+/// Size statistics of an ordered pair of input sets.
+struct PairStats {
+  size_t hi_size = 0;      ///< |q1| — lower rank number, placed higher.
+  size_t lo_size = 0;      ///< |q2| — higher rank number, placed lower.
+  size_t inter = 0;        ///< |q1 ∩ q2|.
+  size_t inter_strict = 0; ///< Shared items with bound 1 (== inter normally).
+  double hi_delta = -1.0;  ///< Threshold override for q1 (< 0: default).
+  double lo_delta = -1.0;  ///< Threshold override for q2.
+};
+
+/// Pairwise coverage decisions for one similarity variant.
+class ConflictPolicy {
+ public:
+  explicit ConflictPolicy(const Similarity& sim) : sim_(sim) {}
+
+  /// Can q1 and q2 be covered by categories on one branch, with C(q1) the
+  /// higher-placed category?
+  bool CanCoverTogether(const PairStats& p) const;
+
+  /// Can q1 and q2 be covered on different branches (partitioning all
+  /// strictly-bounded shared items)?
+  bool CanCoverSeparately(const PairStats& p) const;
+
+  /// 2-conflict: coverable neither together nor separately.
+  bool IsConflict(const PairStats& p) const {
+    return !CanCoverTogether(p) && !CanCoverSeparately(p);
+  }
+
+  /// Must be covered together: can only be covered on one branch.
+  bool MustCoverTogether(const PairStats& p) const {
+    return CanCoverTogether(p) && !CanCoverSeparately(p);
+  }
+
+  const Similarity& sim() const { return sim_; }
+
+ private:
+  double EffectiveDelta(double override_delta) const {
+    return override_delta >= 0.0 ? override_delta : sim_.delta();
+  }
+
+  Similarity sim_;
+};
+
+}  // namespace ctcr
+}  // namespace oct
+
+#endif  // OCT_CTCR_CONFLICT_POLICY_H_

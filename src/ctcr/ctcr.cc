@@ -1,0 +1,227 @@
+#include "ctcr/ctcr.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/scoring.h"
+#include "core/tree_ops.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace oct {
+namespace ctcr {
+
+namespace {
+
+bool UsesThresholdBelowOne(const OctInput& input, const Similarity& sim) {
+  if (sim.variant() == Variant::kExact) return false;
+  if (sim.delta() < 1.0) return true;
+  for (const auto& s : input.sets()) {
+    if (s.delta_override >= 0.0 && s.delta_override < 1.0) return true;
+  }
+  return false;
+}
+
+bool UsesItemAssignment(const Similarity& sim) {
+  switch (sim.variant()) {
+    case Variant::kJaccardCutoff:
+    case Variant::kJaccardThreshold:
+    case Variant::kF1Cutoff:
+    case Variant::kF1Threshold:
+      return true;
+    case Variant::kPerfectRecall:
+    case Variant::kExact:
+      return false;  // Recall errors are impossible; no duplicates arise.
+  }
+  return false;
+}
+
+std::string CategoryLabel(const OctInput& input, SetId q) {
+  const std::string& label = input.set(q).label;
+  if (!label.empty()) return label;
+  return "C(q" + std::to_string(q) + ")";
+}
+
+}  // namespace
+
+CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
+                             const CtcrOptions& options) {
+  OCT_CHECK(input.Validate().ok()) << input.Validate().ToString();
+  CtcrResult result;
+  const size_t n = input.num_sets();
+  const bool general = UsesThresholdBelowOne(input, sim);
+
+  // Lines 1-9: ranking + conflict (hyper)graph.
+  Timer timer;
+  result.analysis = AnalyzeConflicts(input, sim, /*find_3conflicts=*/general,
+                                     options.pool);
+  result.seconds_conflicts = timer.ElapsedSeconds();
+
+  // Line 10: SolveMIS.
+  timer.Reset();
+  std::vector<SetId> independent;
+  if (result.analysis.conflicts3.empty()) {
+    mis::Graph graph(n);
+    for (SetId q = 0; q < n; ++q) {
+      graph.set_weight(q, input.set(q).weight);
+    }
+    for (const auto& [a, b] : result.analysis.conflicts2) {
+      graph.AddEdge(a, b);
+    }
+    graph.Finalize();
+    const mis::MisSolution sol = mis::SolveMis(graph, options.mis);
+    independent.assign(sol.vertices.begin(), sol.vertices.end());
+    result.mis_optimal = sol.optimal;
+    result.independent_set_weight = sol.weight;
+  } else {
+    mis::Hypergraph hg(n);
+    for (SetId q = 0; q < n; ++q) {
+      hg.set_weight(q, input.set(q).weight);
+    }
+    for (const auto& [a, b] : result.analysis.conflicts2) {
+      hg.AddEdge2(a, b);
+    }
+    for (const auto& t : result.analysis.conflicts3) {
+      hg.AddEdge3(t[0], t[1], t[2]);
+    }
+    hg.Finalize();
+    const mis::MisSolution sol =
+        mis::SolveHypergraphMis(hg, options.hypergraph);
+    independent.assign(sol.vertices.begin(), sol.vertices.end());
+    result.mis_optimal = sol.optimal;
+    result.independent_set_weight = sol.weight;
+  }
+  result.seconds_mis = timer.ElapsedSeconds();
+
+  // Lines 11-15: one category per surviving set; parent = the closest (max
+  // rank) must-cover-together predecessor already in the tree.
+  timer.Reset();
+  std::sort(independent.begin(), independent.end(), [&](SetId a, SetId b) {
+    return result.analysis.rank[a] < result.analysis.rank[b];
+  });
+  result.independent_set = independent;
+  CategoryTree& tree = result.tree;
+  std::vector<NodeId> cat_of(n, kInvalidNode);
+  std::vector<char> in_s(n, 0);
+  for (SetId q : independent) in_s[q] = 1;
+  for (SetId q : independent) {
+    NodeId parent = tree.root();
+    uint32_t best_rank = 0;
+    bool found = false;
+    for (SetId p : result.analysis.must_together[q]) {
+      if (!in_s[p]) continue;
+      if (result.analysis.rank[p] >= result.analysis.rank[q]) continue;
+      if (!found || result.analysis.rank[p] > best_rank) {
+        best_rank = result.analysis.rank[p];
+        parent = cat_of[p];
+        found = true;
+      }
+    }
+    OCT_DCHECK(parent != kInvalidNode);
+    cat_of[q] = tree.AddCategory(parent, CategoryLabel(input, q), q);
+  }
+
+  // Lines 16-19: items appearing only in same-branch sets go to the deepest
+  // containing category. Cross-branch items ("duplicates") are deferred to
+  // Algorithm 2 for the Jaccard/F1 variants; for Exact and Perfect-Recall
+  // (where Algorithm 2 does not run) items with a relaxed bound are placed
+  // on up to `bound` branches directly — "each item is duplicated according
+  // to its bound" (Section 3.3, Extensions).
+  {
+    const auto index = input.BuildInvertedIndex();
+    std::vector<size_t> depth(tree.num_nodes(), 0);
+    for (NodeId id : tree.PreOrder()) {
+      if (id != tree.root()) depth[id] = depth[tree.node(id).parent] + 1;
+    }
+    const bool defer_duplicates = UsesItemAssignment(sim);
+    std::vector<NodeId> nodes;
+    for (ItemId item = 0; item < input.universe_size(); ++item) {
+      nodes.clear();
+      for (SetId q : index[item]) {
+        if (in_s[q]) nodes.push_back(cat_of[q]);
+      }
+      if (nodes.empty()) continue;
+      std::sort(nodes.begin(), nodes.end());
+      nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+      // Group the containing categories into branch-chains; each chain gets
+      // at most one copy, placed at its deepest node. Process nodes deepest
+      // first so a chain is identified by its deepest member.
+      std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+        if (depth[a] != depth[b]) return depth[a] > depth[b];
+        return a < b;
+      });
+      std::vector<NodeId> chain_heads;  // Deepest node of each chain.
+      for (NodeId nd : nodes) {
+        bool on_existing_chain = false;
+        for (NodeId head : chain_heads) {
+          if (tree.OnSameBranch(head, nd)) {
+            on_existing_chain = true;
+            break;
+          }
+        }
+        if (!on_existing_chain) chain_heads.push_back(nd);
+      }
+      if (chain_heads.size() == 1) {
+        tree.AssignItem(chain_heads[0], item);
+        continue;
+      }
+      if (defer_duplicates) continue;  // Algorithm 2 will place copies.
+      // Exact / Perfect-Recall: one copy per chain, up to the bound. When
+      // chains exceed the bound (a higher-order bound conflict the pairwise
+      // analysis cannot see), the heaviest chains win.
+      const uint32_t bound = input.ItemBound(item);
+      if (chain_heads.size() > bound) {
+        std::vector<double> chain_weight(chain_heads.size(), 0.0);
+        for (SetId q : index[item]) {
+          if (!in_s[q]) continue;
+          for (size_t c = 0; c < chain_heads.size(); ++c) {
+            if (tree.OnSameBranch(chain_heads[c], cat_of[q])) {
+              chain_weight[c] += input.set(q).weight;
+            }
+          }
+        }
+        std::vector<size_t> order(chain_heads.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return chain_weight[a] > chain_weight[b];
+        });
+        std::vector<NodeId> kept;
+        for (size_t i = 0; i < bound; ++i) {
+          kept.push_back(chain_heads[order[i]]);
+        }
+        chain_heads = std::move(kept);
+      }
+      for (NodeId head : chain_heads) tree.AssignItem(head, item);
+    }
+  }
+
+  // Line 20: Algorithm 2 (Jaccard / F1 variants only).
+  if (UsesItemAssignment(sim)) {
+    AssignItemsOptions assign;
+    assign.target_sets = independent;
+    assign.cat_of = cat_of;
+    result.assignment = AssignItems(input, sim, assign, &tree);
+  }
+
+  // Lines 21-23: intermediate categories (recombine partitioned sets).
+  if (options.add_intermediate_categories && general &&
+      UsesItemAssignment(sim)) {
+    result.intermediates_added = AddIntermediateCategories(input, &tree);
+  }
+
+  // Lines 24-25: condense (thresholds below 1 only).
+  if (options.condense && general) {
+    CondenseTree(input, sim, &tree);
+  }
+
+  // Line 26: misc category with every unassigned item.
+  AddMiscCategory(input, &tree);
+  AnnotateCoveredSets(input, sim, &tree);
+  result.seconds_build = timer.ElapsedSeconds();
+  OCT_DCHECK(tree.ValidateModel(input).ok())
+      << tree.ValidateModel(input).ToString();
+  return result;
+}
+
+}  // namespace ctcr
+}  // namespace oct

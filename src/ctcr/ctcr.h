@@ -1,0 +1,65 @@
+// CTCR — the Category Tree Conflict Resolver (Algorithm 1, Section 3).
+//
+// Pipeline: rank the input sets; enumerate 2-conflicts (and, for thresholds
+// below 1, 3-conflicts); solve Maximum Independent Set on the conflict
+// (hyper)graph; build a tree with one category per surviving set (parent =
+// closest must-cover-together predecessor); assign items (Algorithm 2 for
+// the Jaccard / F1 variants); add intermediate categories; condense; collect
+// unassigned items into a misc category.
+
+#ifndef OCT_CTCR_CTCR_H_
+#define OCT_CTCR_CTCR_H_
+
+#include <vector>
+
+#include "core/category_tree.h"
+#include "core/input.h"
+#include "core/item_assignment.h"
+#include "core/similarity.h"
+#include "ctcr/conflicts.h"
+#include "mis/hypergraph_solver.h"
+#include "mis/solver.h"
+#include "util/thread_pool.h"
+
+namespace oct {
+namespace ctcr {
+
+struct CtcrOptions {
+  mis::MisOptions mis;
+  mis::HypergraphSolverOptions hypergraph;
+  /// Thread pool for the parallel phases (null: process default).
+  ThreadPool* pool = nullptr;
+  /// Disable to skip lines 21-23 (intermediate categories) — ablation knob.
+  bool add_intermediate_categories = true;
+  /// Disable to skip lines 24-25 (condensing) — ablation knob.
+  bool condense = true;
+};
+
+/// Everything CTCR produces besides the tree (diagnostics for benchmarks,
+/// experiments, and the user-facing workflow).
+struct CtcrResult {
+  CategoryTree tree;
+  /// The conflict-free subset S the tree was built to cover.
+  std::vector<SetId> independent_set;
+  /// Weight of S — an upper bound on the achievable covered weight for
+  /// binary variants (tight for Exact).
+  double independent_set_weight = 0.0;
+  /// Whether the MIS stage solved its instance optimally.
+  bool mis_optimal = false;
+  ConflictAnalysis analysis;
+  AssignItemsStats assignment;
+  size_t intermediates_added = 0;
+  double seconds_conflicts = 0.0;
+  double seconds_mis = 0.0;
+  double seconds_build = 0.0;
+};
+
+/// Runs CTCR for any of the six variants. The input must be valid
+/// (input.Validate().ok()).
+CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
+                             const CtcrOptions& options = {});
+
+}  // namespace ctcr
+}  // namespace oct
+
+#endif  // OCT_CTCR_CTCR_H_

@@ -1,0 +1,61 @@
+#include "ctcr/reemploy.h"
+
+#include <algorithm>
+
+#include "core/scoring.h"
+#include "util/logging.h"
+
+namespace oct {
+namespace ctcr {
+
+ReemployResult ReemployWithReducedThresholds(const OctInput& input,
+                                             const Similarity& sim,
+                                             const ReemployOptions& options) {
+  OCT_CHECK_GT(options.max_rounds, 0u);
+  ReemployResult result;
+  result.adjusted_input = input;
+  OctInput original = input;  // Original weights for comparable scoring.
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    result.final_run =
+        BuildCategoryTree(result.adjusted_input, sim, options.ctcr);
+    // Coverage under the adjusted thresholds; score under original weights.
+    const TreeScore adjusted_score =
+        ScoreTree(result.adjusted_input, result.final_run.tree, sim);
+    double original_total = 0.0;
+    for (SetId q = 0; q < original.num_sets(); ++q) {
+      original_total +=
+          original.set(q).weight * adjusted_score.per_set[q].score;
+    }
+    result.covered_per_round.push_back(adjusted_score.num_covered);
+    const double denom = original.TotalWeight();
+    result.score_per_round.push_back(denom > 0 ? original_total / denom : 0);
+    result.rounds = round + 1;
+    if (adjusted_score.num_covered == input.num_sets()) break;
+    if (round + 1 == options.max_rounds) break;
+
+    // Lower thresholds (and optionally boost weights) of uncovered sets.
+    bool any_change = false;
+    for (SetId q = 0; q < result.adjusted_input.num_sets(); ++q) {
+      if (adjusted_score.per_set[q].covered) continue;
+      CandidateSet& cs = result.adjusted_input.mutable_set(q);
+      const double current =
+          cs.delta_override >= 0.0 ? cs.delta_override : sim.delta();
+      const double reduced =
+          std::max(options.min_delta, current * options.threshold_factor);
+      if (reduced < current - 1e-12) {
+        cs.delta_override = reduced;
+        any_change = true;
+      }
+      if (options.weight_boost != 1.0) {
+        cs.weight *= options.weight_boost;
+        any_change = true;
+      }
+    }
+    if (!any_change) break;  // Thresholds bottomed out; further runs futile.
+  }
+  return result;
+}
+
+}  // namespace ctcr
+}  // namespace oct

@@ -1,0 +1,55 @@
+// The human-in-the-loop reemployment workflow of Sections 3 and 5.4:
+// "reemploying the algorithm with reduced thresholds for uncovered queries"
+// and raising the weights of underrepresented candidate categories. The
+// taxonomists reported that "reemploying CTCR several times is sufficient
+// to derive a tree with the desired categorization improvements".
+
+#ifndef OCT_CTCR_REEMPLOY_H_
+#define OCT_CTCR_REEMPLOY_H_
+
+#include <vector>
+
+#include "ctcr/ctcr.h"
+
+namespace oct {
+namespace ctcr {
+
+struct ReemployOptions {
+  /// Per-round multiplier applied to the thresholds of uncovered sets.
+  double threshold_factor = 0.85;
+  /// Lowest threshold a set may be reduced to.
+  double min_delta = 0.3;
+  /// Per-round multiplier applied to the weights of uncovered sets
+  /// (1 = weights untouched; taxonomists raise weights of categories they
+  /// insist on).
+  double weight_boost = 1.0;
+  /// Maximum reemployment rounds (the first run counts as round 1).
+  size_t max_rounds = 4;
+  CtcrOptions ctcr;
+};
+
+struct ReemployResult {
+  /// The final CTCR run.
+  CtcrResult final_run;
+  /// Input after the per-set threshold/weight adjustments.
+  OctInput adjusted_input;
+  /// Covered-set count after each round.
+  std::vector<size_t> covered_per_round;
+  /// Normalized score (w.r.t. the ORIGINAL weights) after each round.
+  std::vector<double> score_per_round;
+  size_t rounds = 0;
+};
+
+/// Runs CTCR, then repeatedly lowers the thresholds (and optionally boosts
+/// the weights) of still-uncovered sets and reruns, until every set is
+/// covered or the round budget is exhausted. Scores reported against the
+/// original weights so rounds are comparable.
+ReemployResult ReemployWithReducedThresholds(const OctInput& input,
+                                             const Similarity& sim,
+                                             const ReemployOptions& options =
+                                                 {});
+
+}  // namespace ctcr
+}  // namespace oct
+
+#endif  // OCT_CTCR_REEMPLOY_H_

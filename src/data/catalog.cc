@@ -1,0 +1,144 @@
+#include "data/catalog.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace data {
+
+namespace {
+
+std::vector<std::string> Numbered(const std::string& prefix, size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(prefix + std::to_string(i + 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+DomainSchema FashionSchema() {
+  DomainSchema schema;
+  schema.name = "fashion";
+  schema.attributes = {
+      {"type",
+       {"shirt", "pants", "dress", "jacket", "shoes", "skirt", "sweater",
+        "coat", "shorts", "blazer", "hoodie", "socks"},
+       0.9},
+      {"brand",
+       {"nike",   "adidas",  "puma",  "reebok", "umbro",  "zara",
+        "hm",     "gucci",   "levis", "gap",    "uniqlo", "asics",
+        "fila",   "lacoste", "vans",  "diesel", "mango",  "hugo",
+        "armani", "celio",   "next",  "espirit"},
+       1.05},
+      {"color",
+       {"black", "white", "blue", "red", "grey", "green", "pink", "beige",
+        "brown", "yellow", "purple", "orange"},
+       0.8},
+      {"sleeve", {"long-sleeve", "short-sleeve", "sleeveless"}, 0.6},
+      {"gender", {"men", "women", "kids", "unisex"}, 0.5},
+      {"material", {"cotton", "wool", "polyester", "linen", "denim", "silk"},
+       0.7},
+  };
+  return schema;
+}
+
+DomainSchema ElectronicsSchema() {
+  DomainSchema schema;
+  schema.name = "electronics";
+  schema.attributes = {
+      {"type",
+       {"phone", "camera", "laptop", "tv", "memory-card", "headphones",
+        "tablet", "charger", "case", "speaker", "monitor", "keyboard",
+        "mouse", "router", "drone", "smartwatch"},
+       0.9},
+      {"brand", Numbered("brand", 28), 1.05},
+      {"capacity",
+       {"16gb", "32gb", "64gb", "128gb", "256gb", "512gb", "1tb", "2tb"},
+       0.8},
+      {"screen", {"small", "medium", "large", "xlarge"}, 0.6},
+      {"color", {"black", "white", "silver", "grey", "gold", "blue", "red"},
+       0.8},
+      {"condition", {"new", "refurbished", "used"}, 1.0},
+  };
+  return schema;
+}
+
+Catalog Catalog::Generate(DomainSchema schema, size_t num_items,
+                          uint64_t seed) {
+  OCT_CHECK_GT(schema.attributes.size(), 0u);
+  Catalog catalog(std::move(schema), num_items);
+  const size_t num_attrs = catalog.schema_.attributes.size();
+  catalog.values_.resize(num_items * num_attrs);
+  Rng rng(seed);
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(num_attrs);
+  for (const auto& attr : catalog.schema_.attributes) {
+    samplers.emplace_back(attr.values.size(), attr.zipf_exponent);
+  }
+  for (size_t item = 0; item < num_items; ++item) {
+    // The type value skews the popularity order of the other attributes
+    // (rotation by a type-dependent offset) so brands/colors correlate with
+    // types, as in real catalogs.
+    const size_t type_value = samplers[0].Sample(&rng);
+    catalog.values_[item * num_attrs] = static_cast<uint16_t>(type_value);
+    for (size_t a = 1; a < num_attrs; ++a) {
+      const size_t raw = samplers[a].Sample(&rng);
+      const size_t cardinality = catalog.schema_.attributes[a].values.size();
+      const size_t rotated = (raw + type_value * 3) % cardinality;
+      catalog.values_[item * num_attrs + a] = static_cast<uint16_t>(rotated);
+    }
+  }
+  return catalog;
+}
+
+std::string Catalog::Title(ItemId item) const {
+  // brand color <other attrs> type — mirrors listing-title conventions.
+  std::vector<std::string> parts;
+  const size_t num_attrs = schema_.attributes.size();
+  for (size_t a = 1; a < num_attrs; ++a) {
+    parts.push_back(ValueName(a, value(item, a)));
+  }
+  parts.push_back(ValueName(0, value(item, 0)));
+  std::string title = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    title += " ";
+    title += parts[i];
+  }
+  return title;
+}
+
+ItemSet Catalog::ItemsWithValue(size_t attr, uint16_t target) const {
+  std::vector<ItemId> out;
+  for (size_t item = 0; item < num_items_; ++item) {
+    if (value(static_cast<ItemId>(item), attr) == target) {
+      out.push_back(static_cast<ItemId>(item));
+    }
+  }
+  return ItemSet::FromSorted(std::move(out));
+}
+
+std::vector<float> Catalog::SemanticEmbedding(ItemId item) const {
+  size_t dims = 0;
+  for (const auto& attr : schema_.attributes) dims += attr.values.size();
+  std::vector<float> emb(dims, 0.0f);
+  size_t offset = 0;
+  // Deterministic per-item jitter so identical products do not collapse to
+  // one point (real embeddings never coincide exactly).
+  Rng jitter(0x5EEDu ^ (static_cast<uint64_t>(item) * 0x9E3779B97F4A7C15ULL));
+  for (size_t a = 0; a < schema_.attributes.size(); ++a) {
+    const size_t card = schema_.attributes[a].values.size();
+    emb[offset + value(item, a)] = 1.0f;
+    offset += card;
+  }
+  for (auto& x : emb) {
+    x += static_cast<float>(jitter.NextGaussian()) * 0.02f;
+  }
+  return emb;
+}
+
+}  // namespace data
+}  // namespace oct

@@ -1,0 +1,95 @@
+// Synthetic e-commerce catalog substrate.
+//
+// The paper evaluates on private eBay datasets (Fashion and Electronics
+// domains) and public query/result datasets. Those are not redistributable,
+// so this module generates catalogs with the same *combinatorial* structure
+// the algorithms consume: items carrying categorical attributes (type,
+// brand, color, ...) with Zipf-distributed values, from which conjunctive
+// queries induce overlapping, weighted result sets. See DESIGN.md,
+// "Substitutions".
+
+#ifndef OCT_DATA_CATALOG_H_
+#define OCT_DATA_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/item_set.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace data {
+
+/// One categorical attribute: a name, its value vocabulary, and the Zipf
+/// exponent of the value popularity distribution.
+struct AttributeSchema {
+  std::string name;
+  std::vector<std::string> values;
+  double zipf_exponent = 1.0;
+};
+
+/// A product domain: a name and an attribute list. Attribute 0 is the
+/// product type by convention (used by the existing-tree baseline).
+struct DomainSchema {
+  std::string name;
+  std::vector<AttributeSchema> attributes;
+};
+
+/// The Fashion domain of datasets A, B, C (types, brands, colors, sleeve
+/// lengths, genders, materials).
+DomainSchema FashionSchema();
+
+/// The Electronics domain of datasets D and E (device types, brands,
+/// capacities, screen sizes, colors, conditions).
+DomainSchema ElectronicsSchema();
+
+/// An immutable generated catalog: every item has one value per attribute.
+class Catalog {
+ public:
+  /// Generates `num_items` items with Zipf-sampled attribute values.
+  /// Deterministic in `seed`.
+  static Catalog Generate(DomainSchema schema, size_t num_items,
+                          uint64_t seed);
+
+  size_t num_items() const { return num_items_; }
+  const DomainSchema& schema() const { return schema_; }
+  size_t num_attributes() const { return schema_.attributes.size(); }
+
+  /// Value index of `item` for attribute `attr`.
+  uint16_t value(ItemId item, size_t attr) const {
+    return values_[static_cast<size_t>(item) * schema_.attributes.size() +
+                   attr];
+  }
+
+  /// Human-readable value, e.g. "nike".
+  const std::string& ValueName(size_t attr, uint16_t value) const {
+    return schema_.attributes[attr].values[value];
+  }
+
+  /// Product title, e.g. "nike black long-sleeve shirt" (brand color ...
+  /// type order). Used by the IC-S baseline and the tf-idf cohesiveness
+  /// metric.
+  std::string Title(ItemId item) const;
+
+  /// Items whose attribute `attr` equals `value`.
+  ItemSet ItemsWithValue(size_t attr, uint16_t value) const;
+
+  /// Dense semantic embedding of an item: concatenated one-hot blocks per
+  /// attribute plus small deterministic noise — the stand-in for the
+  /// domain-tuned title-embedding model of the IC-S baseline.
+  std::vector<float> SemanticEmbedding(ItemId item) const;
+
+ private:
+  Catalog(DomainSchema schema, size_t num_items)
+      : schema_(std::move(schema)), num_items_(num_items) {}
+
+  DomainSchema schema_;
+  size_t num_items_;
+  std::vector<uint16_t> values_;  // num_items x num_attributes, row-major.
+};
+
+}  // namespace data
+}  // namespace oct
+
+#endif  // OCT_DATA_CATALOG_H_

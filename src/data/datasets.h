@@ -1,0 +1,79 @@
+// Dataset registry: synthetic stand-ins for the paper's evaluation datasets
+// (Section 5.2) —
+//   A: Fashion,      450 queries /  28K items (post-preprocessing)
+//   B: Fashion,     1.2K queries /  94K items
+//   C: Fashion,       3K queries / 340K items
+//   D: Electronics,  20K queries / 1.2M items (100K raw before merging)
+//   E: public-style Electronics, uniform weights (BestBuy-over-Amazon)
+//
+// Sizes scale with OCT_BENCH_SCALE (env; default keeps every bench fast on
+// a laptop; "full" or "1" reproduces paper-sized instances).
+
+#ifndef OCT_DATA_DATASETS_H_
+#define OCT_DATA_DATASETS_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/existing_tree.h"
+#include "core/input.h"
+#include "core/similarity.h"
+#include "data/catalog.h"
+#include "data/preprocess.h"
+#include "data/query_log.h"
+#include "data/search_engine.h"
+
+namespace oct {
+namespace data {
+
+/// A fully materialized dataset: catalog + engine + existing tree + the
+/// preprocessed OCT input for one variant.
+struct Dataset {
+  std::string name;
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<SearchEngine> engine;
+  CategoryTree existing_tree;
+  OctInput input;
+  PreprocessStats stats;
+};
+
+/// Generation parameters of one registry entry.
+struct DatasetSpec {
+  char name = 'A';
+  bool electronics = false;
+  size_t num_items = 0;
+  size_t num_raw_queries = 0;
+  bool uniform_weights = false;
+  uint64_t seed = 0;
+};
+
+/// Registry entry for 'A'..'E' (paper-scale sizes; scaled at build time).
+DatasetSpec SpecFor(char name);
+
+/// Bench scale factor from OCT_BENCH_SCALE (default 0.08; "full" = 1.0).
+double BenchScale();
+
+/// Optional knobs for MakeDataset.
+struct DatasetOptions {
+  /// Disable the query-merging stage (used by the train/test experiment so
+  /// near-duplicate result sets can land on both sides of a split, as in
+  /// real logs where related queries survive preprocessing).
+  bool merge_similar = true;
+  /// Use only the most recent days for filtering/weighting (trend capture).
+  bool recent_window_only = false;
+  size_t window_days = 90;
+};
+
+/// Builds dataset `name` ('A'..'E') for the given variant (the variant
+/// picks the relevance threshold and the merge band) at `scale` times the
+/// paper size.
+Dataset MakeDataset(char name, const Similarity& sim, double scale,
+                    const DatasetOptions& options = {});
+
+/// MakeDataset at BenchScale().
+Dataset MakeDataset(char name, const Similarity& sim);
+
+}  // namespace data
+}  // namespace oct
+
+#endif  // OCT_DATA_DATASETS_H_

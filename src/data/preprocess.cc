@@ -1,0 +1,177 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace data {
+
+namespace {
+
+/// Raw symmetric similarity used for the merge band: the variant's raw
+/// function for Jaccard/F1; Jaccard for the asymmetric / binary variants.
+double MergeSimilarity(const Similarity& sim, const ItemSet& a,
+                       const ItemSet& b) {
+  const size_t inter = a.IntersectionSize(b);
+  switch (sim.variant()) {
+    case Variant::kF1Cutoff:
+    case Variant::kF1Threshold:
+      return F1FromSizes(a.size(), b.size(), inter);
+    default:
+      return JaccardFromSizes(a.size(), b.size(), inter);
+  }
+}
+
+/// Number of distinct existing-tree top-level subtrees the items of `set`
+/// occupy. The paper's filter targets queries "scattered across many
+/// *distant* categories"; sibling leaves under one department are close, so
+/// the spread is measured at the department (root-child) level.
+size_t BranchSpread(const std::vector<NodeId>& top_level_of_item,
+                    const ItemSet& set) {
+  std::unordered_set<NodeId> branches;
+  for (ItemId item : set) {
+    const NodeId node = top_level_of_item[item];
+    if (node != kInvalidNode) branches.insert(node);
+  }
+  return branches.size();
+}
+
+}  // namespace
+
+double DefaultRelevanceThreshold(Variant variant) {
+  switch (variant) {
+    case Variant::kPerfectRecall:
+    case Variant::kExact:
+      return 0.9;
+    default:
+      return 0.8;
+  }
+}
+
+void MergeSimilarSets(const Similarity& sim, size_t max_passes,
+                      std::vector<CandidateSet>* sets) {
+  const double band_low = sim.delta() + 0.75 * (1.0 - sim.delta());
+  for (size_t pass = 0; pass < max_passes; ++pass) {
+    bool merged_any = false;
+    // Candidate pairs via a per-pass inverted index over items.
+    std::unordered_map<ItemId, std::vector<size_t>> index;
+    for (size_t i = 0; i < sets->size(); ++i) {
+      for (ItemId item : (*sets)[i].items) index[item].push_back(i);
+    }
+    std::vector<char> dead(sets->size(), 0);
+    for (size_t i = 0; i < sets->size(); ++i) {
+      if (dead[i]) continue;
+      // Collect intersecting partners with a larger index.
+      std::unordered_set<size_t> candidates;
+      for (ItemId item : (*sets)[i].items) {
+        for (size_t j : index[item]) {
+          if (j > i && !dead[j]) candidates.insert(j);
+        }
+      }
+      for (size_t j : candidates) {
+        if (dead[i] || dead[j]) continue;
+        const double s =
+            MergeSimilarity(sim, (*sets)[i].items, (*sets)[j].items);
+        if (s + 1e-12 >= band_low) {
+          // Merge j into i: union of items, combined weight; keep the label
+          // of the heavier set.
+          auto& a = (*sets)[i];
+          auto& b = (*sets)[j];
+          if (b.weight > a.weight) a.label = b.label;
+          a.items = a.items.Union(b.items);
+          a.weight += b.weight;
+          dead[j] = 1;
+          merged_any = true;
+        }
+      }
+    }
+    std::vector<CandidateSet> kept;
+    kept.reserve(sets->size());
+    for (size_t i = 0; i < sets->size(); ++i) {
+      if (!dead[i]) kept.push_back(std::move((*sets)[i]));
+    }
+    *sets = std::move(kept);
+    if (!merged_any) break;
+  }
+}
+
+OctInput BuildOctInput(const SearchEngine& engine,
+                       const std::vector<LoggedQuery>& log,
+                       const CategoryTree& existing_tree,
+                       const Similarity& sim,
+                       const PreprocessOptions& options,
+                       PreprocessStats* stats) {
+  PreprocessStats local;
+  local.raw_queries = log.size();
+
+  // Top-level existing-tree subtree per item (for the scatter filter).
+  const size_t universe = engine.catalog().num_items();
+  std::vector<NodeId> placement(universe, kInvalidNode);
+  for (NodeId id = 0; id < existing_tree.num_nodes(); ++id) {
+    if (!existing_tree.IsAlive(id)) continue;
+    // Walk up to the child of the root.
+    NodeId top = id;
+    while (top != existing_tree.root() &&
+           existing_tree.node(top).parent != existing_tree.root() &&
+           existing_tree.node(top).parent != kInvalidNode) {
+      top = existing_tree.node(top).parent;
+    }
+    for (ItemId item : existing_tree.node(id).direct_items) {
+      if (item < universe) placement[item] = top;
+    }
+  }
+
+  // Stage 1a: frequency filter over the window (the window is the full 90
+  // days by default; a small window with recent_window_only capitalizes on
+  // short-lived trends).
+  std::vector<const LoggedQuery*> frequent;
+  for (const LoggedQuery& lq : log) {
+    if (lq.MinDailyRecent(options.window_days) >= options.min_daily_count) {
+      frequent.push_back(&lq);
+    }
+  }
+  local.after_frequency_filter = frequent.size();
+
+  // Stage 2 + 1b: result sets, then the branch-scatter filter.
+  std::vector<CandidateSet> sets;
+  sets.reserve(frequent.size());
+  for (const LoggedQuery* lq : frequent) {
+    ItemSet result =
+        engine.ResultSet(lq->query, options.relevance_threshold);
+    if (result.empty()) {
+      ++local.empty_result_sets;
+      continue;
+    }
+    if (BranchSpread(placement, result) > options.max_existing_branches) {
+      continue;
+    }
+    CandidateSet cs;
+    cs.items = std::move(result);
+    cs.weight = options.uniform_weights
+                    ? 1.0
+                    : (options.recent_window_only
+                           ? lq->AverageDailyRecent(options.window_days)
+                           : lq->AverageDaily());
+    cs.label = lq->query.Text(engine.catalog());
+    sets.push_back(std::move(cs));
+  }
+  local.after_scatter_filter = sets.size();
+
+  // Stage 4: merge near-duplicate result sets.
+  if (options.merge_similar) {
+    MergeSimilarSets(sim, options.merge_passes, &sets);
+  }
+  local.after_merge = sets.size();
+
+  OctInput input(universe);
+  for (auto& cs : sets) input.Add(std::move(cs));
+  OCT_CHECK(input.Validate().ok()) << input.Validate().ToString();
+  if (stats != nullptr) *stats = local;
+  return input;
+}
+
+}  // namespace data
+}  // namespace oct

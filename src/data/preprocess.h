@@ -1,0 +1,79 @@
+// Data preparation pipeline (Section 5.1): turns a raw query log into an
+// OCT input. Steps, in order:
+//   (1) clean the query set  — frequency filter (min daily count,
+//       consecutively over the window) and branch-scatter filter (drop
+//       queries whose result set spans too many existing-tree branches);
+//   (2) compute result sets  — relevance-thresholded search-engine hits;
+//   (3) assign weights       — average daily submissions;
+//   (4) merge similar queries — two result sets with similarity in
+//       [δ + 3/4 (1 - δ), 1] become one set with the combined weight.
+
+#ifndef OCT_DATA_PREPROCESS_H_
+#define OCT_DATA_PREPROCESS_H_
+
+#include <vector>
+
+#include "core/category_tree.h"
+#include "core/input.h"
+#include "core/similarity.h"
+#include "data/query_log.h"
+#include "data/search_engine.h"
+
+namespace oct {
+namespace data {
+
+struct PreprocessOptions {
+  /// Minimum submissions per day, required on every day of the window (the
+  /// paper's confidential X).
+  uint32_t min_daily_count = 2;
+  /// Window for the frequency filter, in days (the platform rebuilds the
+  /// tree every 90 days).
+  size_t window_days = 90;
+  /// Use only the most recent `window_days` (set small to capitalize on
+  /// short-lived trends, Section 5.4).
+  bool recent_window_only = false;
+  /// Drop queries whose result items sit in more than this many branches of
+  /// the existing tree (Section 5.1: 10; "fewer than 1% of the queries").
+  size_t max_existing_branches = 10;
+  /// Relevance threshold for result sets: 0.8 for Jaccard/F1 experiments,
+  /// 0.9 for Perfect-Recall/Exact (Section 5.1).
+  double relevance_threshold = 0.8;
+  /// Disable to skip step (4) — ablation knob.
+  bool merge_similar = true;
+  /// Maximum merge passes.
+  size_t merge_passes = 3;
+  /// Assign uniform weight 1 instead of query frequencies (public datasets).
+  bool uniform_weights = false;
+};
+
+/// Per-stage survivor counts (reported by the benches; the paper notes the
+/// scatter filter drops < 1% and merging halves the XYZ datasets).
+struct PreprocessStats {
+  size_t raw_queries = 0;
+  size_t after_frequency_filter = 0;
+  size_t empty_result_sets = 0;
+  size_t after_scatter_filter = 0;
+  size_t after_merge = 0;
+};
+
+/// The paper's default relevance threshold for a variant.
+double DefaultRelevanceThreshold(Variant variant);
+
+/// Runs the pipeline. `existing_tree` drives the branch-scatter filter
+/// (pass the ET baseline tree). `sim` controls the merge band.
+OctInput BuildOctInput(const SearchEngine& engine,
+                       const std::vector<LoggedQuery>& log,
+                       const CategoryTree& existing_tree,
+                       const Similarity& sim,
+                       const PreprocessOptions& options,
+                       PreprocessStats* stats = nullptr);
+
+/// Step (4) alone, exposed for tests and ablations: merges pairs of sets
+/// whose raw similarity lies in [δ + 3/4 (1 - δ), 1], combining weights.
+void MergeSimilarSets(const Similarity& sim, size_t max_passes,
+                      std::vector<CandidateSet>* sets);
+
+}  // namespace data
+}  // namespace oct
+
+#endif  // OCT_DATA_PREPROCESS_H_

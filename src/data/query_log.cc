@@ -1,0 +1,135 @@
+#include "data/query_log.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace data {
+
+double LoggedQuery::AverageDaily() const {
+  if (daily_counts.empty()) return 0.0;
+  double total = 0.0;
+  for (uint32_t c : daily_counts) total += c;
+  return total / static_cast<double>(daily_counts.size());
+}
+
+double LoggedQuery::AverageDailyRecent(size_t days) const {
+  if (daily_counts.empty()) return 0.0;
+  days = std::min(days, daily_counts.size());
+  double total = 0.0;
+  for (size_t i = daily_counts.size() - days; i < daily_counts.size(); ++i) {
+    total += daily_counts[i];
+  }
+  return total / static_cast<double>(days);
+}
+
+uint32_t LoggedQuery::MinDailyRecent(size_t days) const {
+  if (daily_counts.empty()) return 0;
+  days = std::min(days, daily_counts.size());
+  uint32_t min_count = UINT32_MAX;
+  for (size_t i = daily_counts.size() - days; i < daily_counts.size(); ++i) {
+    min_count = std::min(min_count, daily_counts[i]);
+  }
+  return min_count;
+}
+
+std::vector<LoggedQuery> GenerateQueryLog(const Catalog& catalog,
+                                          const QueryLogOptions& options) {
+  Rng rng(options.seed);
+  const size_t num_attrs = catalog.num_attributes();
+  std::vector<ZipfSampler> value_samplers;
+  value_samplers.reserve(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    value_samplers.emplace_back(
+        catalog.schema().attributes[a].values.size(),
+        catalog.schema().attributes[a].zipf_exponent);
+  }
+
+  // Distinct queries: 1-3 conjuncts; the type attribute appears with the
+  // configured probability; other attributes are drawn uniformly; values by
+  // the per-attribute popularity distribution.
+  std::vector<LoggedQuery> log;
+  std::vector<size_t> base_of;  // Paraphrase source index, SIZE_MAX if none.
+  std::unordered_set<uint64_t> seen;
+  size_t attempts = 0;
+  const size_t max_attempts = options.num_queries * 200 + 1000;
+  while (log.size() < options.num_queries && ++attempts < max_attempts) {
+    // Paraphrase an earlier multi-conjunct query with some probability.
+    if (!log.empty() && rng.NextDouble() < options.paraphrase_fraction) {
+      const size_t base = rng.NextBelow(log.size());
+      if (log[base].query.conjuncts.size() >= 2) {
+        Query q = log[base].query;
+        q.phrasing = static_cast<uint16_t>(1 + rng.NextBelow(3));
+        if (seen.insert(q.Key()).second) {
+          LoggedQuery lq;
+          lq.query = std::move(q);
+          base_of.push_back(base);
+          log.push_back(std::move(lq));
+        }
+        continue;
+      }
+    }
+    Query q;
+    const double r = rng.NextDouble();
+    const size_t num_conjuncts = r < 0.3 ? 1 : (r < 0.8 ? 2 : 3);
+    std::vector<uint16_t> attrs;
+    if (rng.NextDouble() < options.type_conjunct_probability) {
+      attrs.push_back(0);
+    }
+    while (attrs.size() < num_conjuncts) {
+      const uint16_t a =
+          static_cast<uint16_t>(1 + rng.NextBelow(num_attrs - 1));
+      if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+        attrs.push_back(a);
+      }
+    }
+    std::sort(attrs.begin(), attrs.end());
+    for (uint16_t a : attrs) {
+      q.conjuncts.push_back(
+          {a, static_cast<uint16_t>(value_samplers[a].Sample(&rng))});
+    }
+    if (!seen.insert(q.Key()).second) continue;
+    LoggedQuery lq;
+    lq.query = std::move(q);
+    base_of.push_back(SIZE_MAX);
+    log.push_back(std::move(lq));
+  }
+
+  // Popularity: Zipf over the query index; paraphrases inherit a fraction
+  // of their base query's traffic (same intent splits across phrasings);
+  // daily counts with ±20% jitter.
+  const ZipfSampler popularity(std::max<size_t>(log.size(), 1),
+                               options.zipf_exponent);
+  const double top_pmf = log.empty() ? 1.0 : popularity.Pmf(0);
+  std::vector<double> means(log.size(), 0.0);
+  for (size_t i = 0; i < log.size(); ++i) {
+    auto& lq = log[i];
+    lq.daily_counts.assign(options.days, 0);
+    double mean_daily = options.top_query_daily * popularity.Pmf(i) / top_pmf;
+    if (base_of[i] != SIZE_MAX) {
+      mean_daily = means[base_of[i]] * (0.25 + 0.5 * rng.NextDouble());
+    }
+    means[i] = mean_daily;
+    const bool trend = rng.NextDouble() < options.trend_fraction;
+    for (size_t day = 0; day < options.days; ++day) {
+      double mean = mean_daily;
+      if (trend) {
+        if (day + options.trend_days < options.days) {
+          mean = 0.0;  // Inactive before the spike window.
+        } else {
+          mean = mean_daily * 6.0;  // Spike.
+        }
+      }
+      const double jitter = 1.0 + 0.2 * (2.0 * rng.NextDouble() - 1.0);
+      lq.daily_counts[day] =
+          static_cast<uint32_t>(std::llround(std::max(0.0, mean * jitter)));
+    }
+  }
+  return log;
+}
+
+}  // namespace data
+}  // namespace oct

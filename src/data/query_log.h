@@ -1,0 +1,61 @@
+// Query-log substrate: distinct conjunctive queries with 90 days of daily
+// submission counts — Zipf-distributed popularity, Poisson-like daily
+// jitter, and a configurable fraction of short-lived trend queries (the
+// "Kobe memorabilia" effect of Section 5.4).
+
+#ifndef OCT_DATA_QUERY_LOG_H_
+#define OCT_DATA_QUERY_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/catalog.h"
+#include "data/search_engine.h"
+
+namespace oct {
+namespace data {
+
+/// One distinct query with its daily submission counts (day 0 = oldest).
+struct LoggedQuery {
+  Query query;
+  std::vector<uint32_t> daily_counts;
+
+  /// Average submissions per day over the whole window.
+  double AverageDaily() const;
+  /// Average over the most recent `days` days.
+  double AverageDailyRecent(size_t days) const;
+  /// Minimum daily count over the most recent `days` days (the paper's
+  /// "at least X times a day, consecutively" filter).
+  uint32_t MinDailyRecent(size_t days) const;
+};
+
+struct QueryLogOptions {
+  size_t num_queries = 1000;
+  size_t days = 90;
+  /// Zipf exponent of query popularity.
+  double zipf_exponent = 1.05;
+  /// Daily submissions of the most popular query.
+  double top_query_daily = 4000.0;
+  /// Fraction of queries that are short-lived trends (active only in the
+  /// final `trend_days` with a spike).
+  double trend_fraction = 0.04;
+  size_t trend_days = 14;
+  /// Probability that a query includes the product-type attribute.
+  double type_conjunct_probability = 0.8;
+  /// Fraction of the log that paraphrases an earlier query (same conjuncts,
+  /// different phrasing -> near-duplicate result set). Real logs are full
+  /// of these; the preprocessing merge stage collapses them (Section 5.1:
+  /// merging "reduced the number of queries by more than half").
+  double paraphrase_fraction = 0.55;
+  uint64_t seed = 7;
+};
+
+/// Generates `num_queries` *distinct* queries over the catalog's attribute
+/// space with daily counts. Deterministic in the seed.
+std::vector<LoggedQuery> GenerateQueryLog(const Catalog& catalog,
+                                          const QueryLogOptions& options);
+
+}  // namespace data
+}  // namespace oct
+
+#endif  // OCT_DATA_QUERY_LOG_H_

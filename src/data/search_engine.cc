@@ -1,0 +1,196 @@
+#include "data/search_engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace data {
+
+namespace {
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Deterministic uniform double in [0,1) from a hash.
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string Query::Text(const Catalog& catalog) const {
+  if (phrasing > 0) {
+    // Paraphrases render with the conjuncts in rotated order.
+    std::string rotated;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      const auto& [attr, value] =
+          conjuncts[(i + phrasing) % conjuncts.size()];
+      if (!rotated.empty()) rotated += " ";
+      rotated += catalog.ValueName(attr, value);
+    }
+    return rotated;
+  }
+  // Non-type conjuncts first, type last: "black nike shirt".
+  std::string text;
+  std::string type_part;
+  for (const auto& [attr, value] : conjuncts) {
+    const std::string& name = catalog.ValueName(attr, value);
+    if (attr == 0) {
+      type_part = name;
+    } else {
+      if (!text.empty()) text += " ";
+      text += name;
+    }
+  }
+  if (!type_part.empty()) {
+    if (!text.empty()) text += " ";
+    text += type_part;
+  }
+  return text;
+}
+
+uint64_t Query::Key() const { return Mix(BaseKey(), phrasing); }
+
+uint64_t Query::BaseKey() const {
+  uint64_t key = 0x8BADF00Du;
+  for (const auto& [attr, value] : conjuncts) {
+    key = Mix(key, (static_cast<uint64_t>(attr) << 32) | value);
+  }
+  return key;
+}
+
+SearchEngine::SearchEngine(const Catalog* catalog, SearchOptions options)
+    : catalog_(catalog), options_(options) {
+  const size_t num_attrs = catalog->num_attributes();
+  postings_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    postings_[a].resize(catalog->schema().attributes[a].values.size());
+  }
+  for (ItemId item = 0; item < catalog->num_items(); ++item) {
+    for (size_t a = 0; a < num_attrs; ++a) {
+      postings_[a][catalog->value(item, a)].push_back(item);
+    }
+  }
+}
+
+std::vector<SearchEngine::Hit> SearchEngine::Search(const Query& query) const {
+  OCT_CHECK(!query.conjuncts.empty());
+  const uint64_t qkey = Mix(options_.seed, query.Key());
+  const uint64_t base_key = Mix(options_.seed, query.BaseKey());
+
+  // Full matches: intersect postings, smallest list first.
+  std::vector<const std::vector<ItemId>*> lists;
+  for (const auto& [attr, value] : query.conjuncts) {
+    OCT_CHECK_LT(attr, postings_.size());
+    OCT_CHECK_LT(value, postings_[attr].size());
+    lists.push_back(&postings_[attr][value]);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<ItemId> full = *lists[0];
+  for (size_t i = 1; i < lists.size(); ++i) {
+    std::vector<ItemId> next;
+    next.reserve(full.size());
+    std::set_intersection(full.begin(), full.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    full = std::move(next);
+  }
+
+  std::vector<Hit> hits;
+  hits.reserve(full.size());
+  auto relevance_of = [&](ItemId item, double base) {
+    // The bulk of the noise is shared across paraphrases of one intent;
+    // phrasing only perturbs mildly (different tokenization).
+    const double u = HashToUnit(Mix(base_key, item)) * 2.0 - 1.0;  // [-1, 1)
+    const double p = HashToUnit(Mix(qkey, item)) * 2.0 - 1.0;
+    double r = base + u * options_.noise + p * 0.004;
+    return std::clamp(r, 0.0, 1.0);
+  };
+  for (ItemId item : full) {
+    hits.push_back({item, relevance_of(item, options_.full_match_relevance)});
+  }
+
+  // Near-misses: items matching all conjuncts but one (multi-conjunct
+  // queries only) — the low-relevance tail the preprocessing trims.
+  if (query.conjuncts.size() >= 2) {
+    std::vector<char> is_full(0);
+    for (size_t skip = 0; skip < query.conjuncts.size(); ++skip) {
+      std::vector<ItemId> partial;
+      bool first = true;
+      for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+        if (i == skip) continue;
+        const auto& [attr, value] = query.conjuncts[i];
+        const auto& list = postings_[attr][value];
+        if (first) {
+          partial = list;
+          first = false;
+        } else {
+          std::vector<ItemId> next;
+          next.reserve(partial.size());
+          std::set_intersection(partial.begin(), partial.end(), list.begin(),
+                                list.end(), std::back_inserter(next));
+          partial = std::move(next);
+        }
+      }
+      const auto& [sattr, svalue] = query.conjuncts[skip];
+      for (ItemId item : partial) {
+        if (catalog_->value(item, sattr) == svalue) continue;  // Full match.
+        hits.push_back(
+            {item, relevance_of(item, options_.partial_match_relevance)});
+      }
+    }
+  }
+
+  // Mislabeled injections: a few unrelated items scored high enough to
+  // survive thresholding (deterministic per query *intent* — the engine
+  // misclassifies the product, not the phrasing).
+  {
+    Rng rng(Mix(base_key, 0xBADCAB1Eu));
+    const double expected = options_.mislabel_per_query;
+    size_t count = static_cast<size_t>(expected);
+    if (rng.NextDouble() < expected - static_cast<double>(count)) ++count;
+    for (size_t i = 0; i < count && catalog_->num_items() > 0; ++i) {
+      const ItemId item =
+          static_cast<ItemId>(rng.NextBelow(catalog_->num_items()));
+      hits.push_back({item, 0.82 + 0.15 * rng.NextDouble()});
+    }
+  }
+
+  // Dedup by item (keep max relevance), sort by relevance desc, truncate.
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.item != b.item) return a.item < b.item;
+    return a.relevance > b.relevance;
+  });
+  hits.erase(std::unique(hits.begin(), hits.end(),
+                         [](const Hit& a, const Hit& b) {
+                           return a.item == b.item;
+                         }),
+             hits.end());
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.relevance != b.relevance) return a.relevance > b.relevance;
+    return a.item < b.item;
+  });
+  if (hits.size() > options_.top_k) hits.resize(options_.top_k);
+  return hits;
+}
+
+ItemSet SearchEngine::ResultSet(const Query& query,
+                                double relevance_threshold) const {
+  const std::vector<Hit> hits = Search(query);
+  std::vector<ItemId> items;
+  items.reserve(hits.size());
+  for (const Hit& h : hits) {
+    if (h.relevance >= relevance_threshold) items.push_back(h.item);
+  }
+  return ItemSet(std::move(items));
+}
+
+}  // namespace data
+}  // namespace oct

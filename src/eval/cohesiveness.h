@@ -1,0 +1,45 @@
+// Category cohesiveness metric (Section 5.4): average pairwise tf-idf
+// cosine similarity of product titles within each leaf category — the paper
+// reports 0.52 (CTCR) vs 0.49 (ET) uniformly averaged, and 0.45 for both
+// when weighting by category size.
+
+#ifndef OCT_EVAL_COHESIVENESS_H_
+#define OCT_EVAL_COHESIVENESS_H_
+
+#include <cstdint>
+
+#include "core/category_tree.h"
+#include "data/catalog.h"
+
+namespace oct {
+namespace eval {
+
+struct CohesivenessOptions {
+  /// Items sampled per category for the pairwise average.
+  size_t max_items_per_category = 24;
+  /// Categories need at least this many items to be evaluated.
+  size_t min_items = 2;
+  /// Skip the catch-all category of unassigned items — it is not a curated
+  /// category and would dominate the size-weighted average.
+  bool skip_misc = true;
+  uint64_t seed = 9;
+};
+
+struct CohesivenessResult {
+  /// Uniform average over categories.
+  double uniform_average = 0.0;
+  /// Average weighted by category size.
+  double weighted_average = 0.0;
+  size_t categories_evaluated = 0;
+};
+
+/// Measures tf-idf cohesiveness of the leaf categories of `tree` using the
+/// catalog's titles. idf is computed over the full catalog.
+CohesivenessResult MeasureCohesiveness(const data::Catalog& catalog,
+                                       const CategoryTree& tree,
+                                       const CohesivenessOptions& options = {});
+
+}  // namespace eval
+}  // namespace oct
+
+#endif  // OCT_EVAL_COHESIVENESS_H_

@@ -1,0 +1,66 @@
+#include "eval/contribution.h"
+
+#include "baselines/existing_tree.h"
+#include "core/scoring.h"
+#include "ctcr/ctcr.h"
+#include "util/logging.h"
+
+namespace oct {
+namespace eval {
+
+std::vector<ContributionRow> ContributionSplit(
+    const data::Dataset& dataset, const Similarity& sim,
+    const std::vector<double>& query_fractions) {
+  const OctInput& queries = dataset.input;
+  const std::vector<CandidateSet> existing =
+      baselines::CategoriesAsCandidateSets(dataset.existing_tree, 1.0);
+  OCT_CHECK(!existing.empty());
+  const double query_weight_total = queries.TotalWeight();
+  OCT_CHECK_GT(query_weight_total, 0.0);
+
+  std::vector<ContributionRow> rows;
+  for (double fraction : query_fractions) {
+    // Scale both sources to a common total weight of 1: queries get
+    // `fraction`, existing categories split (1 - fraction) uniformly.
+    OctInput mixed(queries.universe_size());
+    const size_t num_queries = queries.num_sets();
+    for (SetId q = 0; q < num_queries; ++q) {
+      CandidateSet cs = queries.set(q);
+      cs.weight = cs.weight / query_weight_total * fraction;
+      mixed.Add(std::move(cs));
+    }
+    const double existing_each =
+        (1.0 - fraction) / static_cast<double>(existing.size());
+    for (const CandidateSet& e : existing) {
+      CandidateSet cs = e;
+      cs.weight = existing_each;
+      mixed.Add(std::move(cs));
+    }
+
+    const ctcr::CtcrResult result = ctcr::BuildCategoryTree(mixed, sim);
+    const TreeScore score = ScoreTree(mixed, result.tree, sim);
+    double from_queries = 0.0;
+    double from_existing = 0.0;
+    for (SetId q = 0; q < mixed.num_sets(); ++q) {
+      const double contribution =
+          mixed.set(q).weight * score.per_set[q].score;
+      if (q < num_queries) {
+        from_queries += contribution;
+      } else {
+        from_existing += contribution;
+      }
+    }
+    ContributionRow row;
+    row.query_weight_fraction = fraction;
+    const double total = from_queries + from_existing;
+    if (total > 0.0) {
+      row.score_from_queries = from_queries / total;
+      row.score_from_existing = from_existing / total;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace eval
+}  // namespace oct

@@ -1,0 +1,37 @@
+// Conservative-update experiment (Table 1): mix query result sets with the
+// existing tree's categories as input, modulating the weight ratio between
+// the two sources, and measure how the final CTCR score splits between
+// covering queries and covering existing categories. The paper finds the
+// ratio in ≈ the ratio out, i.e. weights suffice to control how much the
+// tree may change.
+
+#ifndef OCT_EVAL_CONTRIBUTION_H_
+#define OCT_EVAL_CONTRIBUTION_H_
+
+#include <vector>
+
+#include "core/similarity.h"
+#include "data/datasets.h"
+
+namespace oct {
+namespace eval {
+
+struct ContributionRow {
+  /// Fraction of the total input weight given to query sets (e.g. 0.9).
+  double query_weight_fraction = 0.0;
+  /// Fraction of the achieved score contributed by covering query sets.
+  double score_from_queries = 0.0;
+  /// Fraction contributed by covering existing categories.
+  double score_from_existing = 0.0;
+};
+
+/// Runs CTCR on the mixed input for each requested query-weight fraction
+/// (paper: 0.9, 0.7, 0.5, 0.3, 0.1 with threshold Jaccard δ = 0.8 on D).
+std::vector<ContributionRow> ContributionSplit(
+    const data::Dataset& dataset, const Similarity& sim,
+    const std::vector<double>& query_fractions);
+
+}  // namespace eval
+}  // namespace oct
+
+#endif  // OCT_EVAL_CONTRIBUTION_H_

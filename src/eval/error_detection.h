@@ -1,0 +1,62 @@
+// Taxonomist tooling of Section 5.4 ("Identifying and correcting errors"):
+//  - detect categorization errors that survived preprocessing (the "Nike
+//    Blazer" effect) by flagging categories whose items have high pairwise
+//    semantic-embedding distances, together with the outlier items;
+//  - list input sets no category covers (underrepresented candidate
+//    categories, e.g. seasonal World-Cup merchandise);
+//  - list rare items absent from every covering category.
+
+#ifndef OCT_EVAL_ERROR_DETECTION_H_
+#define OCT_EVAL_ERROR_DETECTION_H_
+
+#include <vector>
+
+#include "core/category_tree.h"
+#include "core/scoring.h"
+#include "data/catalog.h"
+
+namespace oct {
+namespace eval {
+
+struct IncoherenceOptions {
+  /// Flag categories whose mean item-to-centroid distance exceeds this.
+  double mean_distance_threshold = 1.0;
+  /// Items further than this many times the category's mean distance are
+  /// reported as outliers.
+  double outlier_factor = 2.0;
+  /// Items sampled per category.
+  size_t max_items = 64;
+  /// Categories smaller than this are skipped.
+  size_t min_items = 4;
+  uint64_t seed = 11;
+};
+
+struct SuspiciousCategory {
+  NodeId node = kInvalidNode;
+  double mean_distance = 0.0;
+  /// Items far from the category centroid (likely misclassified).
+  std::vector<ItemId> outliers;
+};
+
+/// Scans the leaf categories of `tree` for semantic incoherence, mirroring
+/// the taxonomists' tool that "detects high pairwise distances between
+/// embeddings of items within a category". Returns flagged categories,
+/// most incoherent first.
+std::vector<SuspiciousCategory> DetectIncoherentCategories(
+    const data::Catalog& catalog, const CategoryTree& tree,
+    const IncoherenceOptions& options = {});
+
+/// Input sets not covered by the tree (candidates for threshold reduction /
+/// weight boosting and reemployment).
+std::vector<SetId> UncoveredSets(const TreeScore& score);
+
+/// Items that appear in at least one input set but in no category that
+/// covers some set — initially absent from any covering category; the
+/// paper routes them to existing categories automatically.
+ItemSet UncoveredItems(const OctInput& input, const CategoryTree& tree,
+                       const TreeScore& score);
+
+}  // namespace eval
+}  // namespace oct
+
+#endif  // OCT_EVAL_ERROR_DETECTION_H_

@@ -1,0 +1,76 @@
+#include "eval/harness.h"
+
+#include "baselines/ic_q.h"
+#include "baselines/ic_s.h"
+#include "cct/cct.h"
+#include "ctcr/ctcr.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace oct {
+namespace eval {
+
+const char* AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kCtcr:
+      return "CTCR";
+    case Algorithm::kCct:
+      return "CCT";
+    case Algorithm::kIcQ:
+      return "IC-Q";
+    case Algorithm::kIcS:
+      return "IC-S";
+    case Algorithm::kEt:
+      return "ET";
+  }
+  return "?";
+}
+
+std::vector<Algorithm> AllAlgorithms() {
+  return {Algorithm::kCtcr, Algorithm::kCct, Algorithm::kIcQ,
+          Algorithm::kIcS, Algorithm::kEt};
+}
+
+CategoryTree BuildTree(Algorithm algo, const data::Dataset& dataset,
+                       const OctInput& input, const Similarity& sim) {
+  switch (algo) {
+    case Algorithm::kCtcr: {
+      ctcr::CtcrOptions options;
+      return ctcr::BuildCategoryTree(input, sim, options).tree;
+    }
+    case Algorithm::kCct: {
+      cct::CctOptions options;
+      return cct::BuildCategoryTree(input, sim, options).tree;
+    }
+    case Algorithm::kIcQ:
+      return baselines::BuildIcQTree(input);
+    case Algorithm::kIcS:
+      return baselines::BuildIcSTree(*dataset.catalog, input);
+    case Algorithm::kEt: {
+      CategoryTree copy = dataset.existing_tree;
+      return copy;
+    }
+  }
+  OCT_CHECK(false);
+  return CategoryTree();
+}
+
+AlgoRun RunAlgorithm(Algorithm algo, const data::Dataset& dataset,
+                     const OctInput& input, const Similarity& sim) {
+  AlgoRun run;
+  run.algo = algo;
+  Timer timer;
+  const CategoryTree tree = BuildTree(algo, dataset, input, sim);
+  run.seconds = timer.ElapsedSeconds();
+  run.score = ScoreTree(input, tree, sim);
+  run.num_categories = tree.NumCategories();
+  return run;
+}
+
+AlgoRun RunAlgorithm(Algorithm algo, const data::Dataset& dataset,
+                     const Similarity& sim) {
+  return RunAlgorithm(algo, dataset, dataset.input, sim);
+}
+
+}  // namespace eval
+}  // namespace oct

@@ -1,0 +1,49 @@
+// Experiment harness: runs any of the five algorithms of Section 5.2
+// (CTCR, CCT, IC-Q, IC-S, ET) over a dataset and reports normalized scores
+// — the machinery behind every figure bench.
+
+#ifndef OCT_EVAL_HARNESS_H_
+#define OCT_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scoring.h"
+#include "core/similarity.h"
+#include "data/datasets.h"
+
+namespace oct {
+namespace eval {
+
+enum class Algorithm { kCtcr, kCct, kIcQ, kIcS, kEt };
+
+const char* AlgorithmName(Algorithm algo);
+
+/// All five algorithms, best-first (the paper's reported ranking).
+std::vector<Algorithm> AllAlgorithms();
+
+struct AlgoRun {
+  Algorithm algo;
+  TreeScore score;
+  double seconds = 0.0;
+  size_t num_categories = 0;
+};
+
+/// Builds the algorithm's tree for `input` and scores it under `sim`.
+/// The catalog/existing tree are taken from `dataset`; `input` defaults to
+/// dataset.input but may be overridden (train/test, Table 1).
+AlgoRun RunAlgorithm(Algorithm algo, const data::Dataset& dataset,
+                     const OctInput& input, const Similarity& sim);
+
+/// Convenience: run on the dataset's own input.
+AlgoRun RunAlgorithm(Algorithm algo, const data::Dataset& dataset,
+                     const Similarity& sim);
+
+/// Builds (without scoring) the algorithm's tree.
+CategoryTree BuildTree(Algorithm algo, const data::Dataset& dataset,
+                       const OctInput& input, const Similarity& sim);
+
+}  // namespace eval
+}  // namespace oct
+
+#endif  // OCT_EVAL_HARNESS_H_

@@ -1,0 +1,41 @@
+#include "eval/train_test.h"
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace oct {
+namespace eval {
+
+TrainTestResult TrainTestEvaluate(Algorithm algo,
+                                  const data::Dataset& dataset,
+                                  const Similarity& sim, size_t splits,
+                                  uint64_t seed) {
+  TrainTestResult result;
+  result.splits = splits;
+  const OctInput& full = dataset.input;
+  Rng rng(seed);
+  for (size_t split = 0; split < splits; ++split) {
+    std::vector<SetId> ids(full.num_sets());
+    std::iota(ids.begin(), ids.end(), 0);
+    rng.Shuffle(&ids);
+    const size_t half = ids.size() / 2;
+    OctInput train(full.universe_size());
+    OctInput test(full.universe_size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const CandidateSet& cs = full.set(ids[i]);
+      (i < half ? train : test).Add(cs);
+    }
+    const CategoryTree tree = BuildTree(algo, dataset, train, sim);
+    result.mean_train_score += ScoreTree(train, tree, sim).normalized;
+    result.mean_test_score += ScoreTree(test, tree, sim).normalized;
+  }
+  if (splits > 0) {
+    result.mean_train_score /= static_cast<double>(splits);
+    result.mean_test_score /= static_cast<double>(splits);
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace oct

@@ -1,0 +1,32 @@
+// Train/test robustness evaluation (Section 5.2/5.3): randomly partition
+// the query set into two halves, construct the tree over the training half,
+// and score it against the held-out half; repeat over many random splits
+// and average.
+
+#ifndef OCT_EVAL_TRAIN_TEST_H_
+#define OCT_EVAL_TRAIN_TEST_H_
+
+#include <cstdint>
+
+#include "eval/harness.h"
+
+namespace oct {
+namespace eval {
+
+struct TrainTestResult {
+  double mean_train_score = 0.0;
+  double mean_test_score = 0.0;
+  size_t splits = 0;
+};
+
+/// Runs `splits` random 50/50 partitions (paper: 50) and averages the
+/// normalized scores of the tree built on train, evaluated on both halves.
+TrainTestResult TrainTestEvaluate(Algorithm algo,
+                                  const data::Dataset& dataset,
+                                  const Similarity& sim, size_t splits,
+                                  uint64_t seed);
+
+}  // namespace eval
+}  // namespace oct
+
+#endif  // OCT_EVAL_TRAIN_TEST_H_

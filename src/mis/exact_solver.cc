@@ -1,0 +1,280 @@
+#include "mis/exact_solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mis/greedy.h"
+#include "mis/local_search.h"
+#include "util/logging.h"
+
+namespace oct {
+namespace mis {
+
+namespace {
+
+/// Branch-and-reduce over one connected component.
+///
+/// Per-node work is kept near O(degree): the cheap upper bound is the
+/// maintained alive-weight sum, refined by a greedy clique-cover bound only
+/// on small residual graphs (where it is both cheap and tight).
+class ComponentSolver {
+ public:
+  ComponentSolver(const Graph& graph, size_t max_nodes)
+      : graph_(graph), max_nodes_(max_nodes) {
+    const size_t n = graph.num_vertices();
+    alive_.assign(n, 1);
+    nbr_weight_.assign(n, 0.0);
+    degree_.assign(n, 0);
+    alive_weight_ = 0.0;
+    alive_count_ = n;
+    for (VertexId v = 0; v < n; ++v) {
+      degree_[v] = graph.Degree(v);
+      alive_weight_ += graph.weight(v);
+      for (VertexId u : graph.Neighbors(v)) {
+        nbr_weight_[v] += graph.weight(u);
+      }
+    }
+    // Incumbent: greedy + local search.
+    LocalSearchOptions ls;
+    ls.rounds = 10;
+    best_ = LocalSearchImprove(graph, SolveGreedy(graph), ls);
+  }
+
+  MisSolution Solve() {
+    current_.clear();
+    current_weight_ = 0.0;
+    nodes_ = 0;
+    const bool complete = Branch();
+    MisSolution sol = best_;
+    sol.optimal = complete;
+    std::sort(sol.vertices.begin(), sol.vertices.end());
+    return sol;
+  }
+
+ private:
+  struct Undo {
+    std::vector<VertexId> removed;
+    size_t chosen_before = 0;
+    double chosen_weight_before = 0.0;
+  };
+
+  void RemoveVertex(VertexId v, Undo* undo) {
+    OCT_DCHECK(alive_[v]);
+    alive_[v] = 0;
+    alive_weight_ -= graph_.weight(v);
+    --alive_count_;
+    undo->removed.push_back(v);
+    for (VertexId u : graph_.Neighbors(v)) {
+      if (!alive_[u]) continue;
+      nbr_weight_[u] -= graph_.weight(v);
+      --degree_[u];
+    }
+  }
+
+  void TakeVertex(VertexId v, Undo* undo) {
+    current_.push_back(v);
+    current_weight_ += graph_.weight(v);
+    scratch_nbrs_.clear();
+    for (VertexId u : graph_.Neighbors(v)) {
+      if (alive_[u]) scratch_nbrs_.push_back(u);
+    }
+    // Copy: RemoveVertex below mutates alive_ flags.
+    const std::vector<VertexId> nbrs = scratch_nbrs_;
+    RemoveVertex(v, undo);
+    for (VertexId u : nbrs) {
+      if (alive_[u]) RemoveVertex(u, undo);
+    }
+  }
+
+  void Rollback(const Undo& undo) {
+    for (auto it = undo.removed.rbegin(); it != undo.removed.rend(); ++it) {
+      const VertexId v = *it;
+      alive_[v] = 1;
+      alive_weight_ += graph_.weight(v);
+      ++alive_count_;
+      for (VertexId u : graph_.Neighbors(v)) {
+        if (!alive_[u]) continue;
+        nbr_weight_[u] += graph_.weight(v);
+        ++degree_[u];
+      }
+    }
+    current_.resize(undo.chosen_before);
+    current_weight_ = undo.chosen_weight_before;
+  }
+
+  /// Neighborhood-removal reduction to a fixed point, via a worklist.
+  void Reduce(Undo* undo) {
+    std::vector<VertexId> work;
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (alive_[v]) work.push_back(v);
+    }
+    while (!work.empty()) {
+      const VertexId v = work.back();
+      work.pop_back();
+      if (!alive_[v]) continue;
+      if (graph_.weight(v) >= nbr_weight_[v] - 1e-12) {
+        // Neighbors of removed vertices become candidates again.
+        const size_t before = undo->removed.size();
+        TakeVertex(v, undo);
+        for (size_t i = before; i < undo->removed.size(); ++i) {
+          for (VertexId u : graph_.Neighbors(undo->removed[i])) {
+            if (alive_[u]) work.push_back(u);
+          }
+        }
+      }
+    }
+  }
+
+  /// Greedy weighted clique-cover bound over alive vertices (only invoked
+  /// on small residual graphs).
+  double CliqueCoverBound() const {
+    std::vector<VertexId> verts;
+    verts.reserve(alive_count_);
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (alive_[v]) verts.push_back(v);
+    }
+    std::sort(verts.begin(), verts.end(), [&](VertexId a, VertexId b) {
+      return graph_.weight(a) > graph_.weight(b);
+    });
+    std::vector<std::vector<VertexId>> cliques;
+    double bound = 0.0;
+    for (VertexId v : verts) {
+      bool placed = false;
+      for (auto& clique : cliques) {
+        bool adjacent_to_all = true;
+        for (VertexId u : clique) {
+          if (!graph_.HasEdge(v, u)) {
+            adjacent_to_all = false;
+            break;
+          }
+        }
+        if (adjacent_to_all) {
+          clique.push_back(v);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        cliques.push_back({v});
+        bound += graph_.weight(v);  // v is the heaviest in its new clique.
+      }
+    }
+    return bound;
+  }
+
+  /// Returns true when the subtree was searched completely.
+  bool Branch() {
+    if (++nodes_ > max_nodes_) return false;
+    Undo undo;
+    undo.chosen_before = current_.size();
+    undo.chosen_weight_before = current_weight_;
+    Reduce(&undo);
+
+    if (alive_count_ == 0) {
+      if (current_weight_ > best_.weight + 1e-12) {
+        best_.vertices = current_;
+        best_.weight = current_weight_;
+      }
+      Rollback(undo);
+      return true;
+    }
+
+    bool complete = true;
+    // Cheap bound first; refine with the clique cover only when small.
+    double bound = alive_weight_;
+    if (current_weight_ + bound > best_.weight + 1e-12 &&
+        alive_count_ <= 96) {
+      bound = CliqueCoverBound();
+    }
+    if (current_weight_ + bound > best_.weight + 1e-12) {
+      // Branching vertex: max degree (ties: max weight).
+      VertexId pivot = UINT32_MAX;
+      size_t best_deg = 0;
+      for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+        if (!alive_[v]) continue;
+        if (pivot == UINT32_MAX || degree_[v] > best_deg ||
+            (degree_[v] == best_deg &&
+             graph_.weight(v) > graph_.weight(pivot))) {
+          pivot = v;
+          best_deg = degree_[v];
+        }
+      }
+      // Branch 1: take pivot.
+      {
+        Undo u1;
+        u1.chosen_before = current_.size();
+        u1.chosen_weight_before = current_weight_;
+        TakeVertex(pivot, &u1);
+        complete = Branch() && complete;
+        Rollback(u1);
+      }
+      // Branch 2: exclude pivot.
+      {
+        Undo u2;
+        u2.chosen_before = current_.size();
+        u2.chosen_weight_before = current_weight_;
+        RemoveVertex(pivot, &u2);
+        complete = Branch() && complete;
+        Rollback(u2);
+      }
+    }
+    Rollback(undo);
+    return complete;
+  }
+
+  const Graph& graph_;
+  const size_t max_nodes_;
+  std::vector<char> alive_;
+  std::vector<double> nbr_weight_;
+  std::vector<size_t> degree_;
+  double alive_weight_ = 0.0;
+  size_t alive_count_ = 0;
+
+  std::vector<VertexId> current_;
+  std::vector<VertexId> scratch_nbrs_;
+  double current_weight_ = 0.0;
+  size_t nodes_ = 0;
+  MisSolution best_;
+};
+
+}  // namespace
+
+MisSolution SolveExact(const Graph& graph, const ExactOptions& options) {
+  MisSolution total;
+  total.optimal = true;
+  const auto components = graph.ConnectedComponents();
+  const size_t total_vertices = graph.num_vertices();
+  if (total_vertices == 0) return total;
+  for (const auto& comp : components) {
+    if (comp.size() == 1) {
+      total.vertices.push_back(comp[0]);
+      total.weight += graph.weight(comp[0]);
+      continue;
+    }
+    std::vector<VertexId> origin;
+    const Graph sub = graph.InducedSubgraph(comp, &origin);
+    MisSolution comp_sol;
+    if (comp.size() > options.max_component_vertices) {
+      // Too large for complete search: greedy + local search.
+      LocalSearchOptions ls;
+      comp_sol = LocalSearchImprove(sub, SolveGreedy(sub), ls);
+      comp_sol.optimal = false;
+    } else {
+      const size_t budget = std::max<size_t>(
+          10'000, options.max_nodes * comp.size() / total_vertices);
+      ComponentSolver solver(sub, budget);
+      comp_sol = solver.Solve();
+    }
+    total.optimal = total.optimal && comp_sol.optimal;
+    total.weight += comp_sol.weight;
+    for (VertexId v : comp_sol.vertices) {
+      total.vertices.push_back(origin[v]);
+    }
+  }
+  std::sort(total.vertices.begin(), total.vertices.end());
+  OCT_DCHECK(graph.IsIndependentSet(total.vertices));
+  return total;
+}
+
+}  // namespace mis
+}  // namespace oct

@@ -1,0 +1,109 @@
+#include "mis/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace mis {
+
+Graph::Graph(size_t num_vertices)
+    : adj_(num_vertices), weights_(num_vertices, 1.0) {}
+
+void Graph::AddEdge(VertexId u, VertexId v) {
+  OCT_DCHECK_LT(u, adj_.size());
+  OCT_DCHECK_LT(v, adj_.size());
+  if (u == v) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  finalized_ = false;
+}
+
+void Graph::Finalize() {
+  num_edges_ = 0;
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    num_edges_ += nbrs.size();
+  }
+  num_edges_ /= 2;
+  finalized_ = true;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  OCT_DCHECK(finalized_);
+  const auto& nbrs = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(nbrs.begin(), nbrs.end(), target);
+}
+
+double Graph::WeightOf(const std::vector<VertexId>& vertices) const {
+  double w = 0.0;
+  for (VertexId v : vertices) w += weights_[v];
+  return w;
+}
+
+bool Graph::IsIndependentSet(const std::vector<VertexId>& vertices) const {
+  std::vector<char> in(adj_.size(), 0);
+  for (VertexId v : vertices) {
+    OCT_DCHECK_LT(v, adj_.size());
+    if (in[v]) return false;  // Duplicate vertex.
+    in[v] = 1;
+  }
+  for (VertexId v : vertices) {
+    for (VertexId u : adj_[v]) {
+      if (in[u]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<VertexId>> Graph::ConnectedComponents() const {
+  std::vector<std::vector<VertexId>> components;
+  std::vector<char> seen(adj_.size(), 0);
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < adj_.size(); ++start) {
+    if (seen[start]) continue;
+    components.emplace_back();
+    auto& comp = components.back();
+    stack.push_back(start);
+    seen[start] = 1;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      comp.push_back(v);
+      for (VertexId u : adj_[v]) {
+        if (!seen[u]) {
+          seen[u] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+  }
+  return components;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<VertexId>& vertices,
+                             std::vector<VertexId>* origin_of) const {
+  std::vector<VertexId> local(adj_.size(), UINT32_MAX);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    local[vertices[i]] = static_cast<VertexId>(i);
+  }
+  Graph sub(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    sub.set_weight(static_cast<VertexId>(i), weights_[v]);
+    for (VertexId u : adj_[v]) {
+      if (local[u] != UINT32_MAX && u > v) {
+        sub.AddEdge(static_cast<VertexId>(i), local[u]);
+      }
+    }
+  }
+  sub.Finalize();
+  if (origin_of != nullptr) *origin_of = vertices;
+  return sub;
+}
+
+}  // namespace mis
+}  // namespace oct

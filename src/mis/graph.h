@@ -1,0 +1,73 @@
+// Weighted undirected graph for the Maximum (weight) Independent Set
+// substrate that CTCR reduces conflict resolution to (Section 3).
+
+#ifndef OCT_MIS_GRAPH_H_
+#define OCT_MIS_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oct {
+namespace mis {
+
+using VertexId = uint32_t;
+
+/// An undirected graph with non-negative vertex weights. Build by AddEdge,
+/// then call Finalize() before queries (sorts/dedups adjacency lists).
+class Graph {
+ public:
+  explicit Graph(size_t num_vertices);
+
+  size_t num_vertices() const { return adj_.size(); }
+  /// Number of undirected edges (valid after Finalize()).
+  size_t num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge; self-loops are ignored. Duplicate insertions
+  /// are deduplicated by Finalize().
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Sorts and dedups adjacency lists; must be called before queries.
+  void Finalize();
+
+  const std::vector<VertexId>& Neighbors(VertexId v) const { return adj_[v]; }
+  size_t Degree(VertexId v) const { return adj_[v].size(); }
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  double weight(VertexId v) const { return weights_[v]; }
+  void set_weight(VertexId v, double w) { weights_[v] = w; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Sum of weights over `vertices`.
+  double WeightOf(const std::vector<VertexId>& vertices) const;
+
+  /// True when no two vertices of `vertices` are adjacent.
+  bool IsIndependentSet(const std::vector<VertexId>& vertices) const;
+
+  /// Vertex sets of connected components.
+  std::vector<std::vector<VertexId>> ConnectedComponents() const;
+
+  /// Subgraph induced by `vertices`; `origin_of[i]` gives the original id of
+  /// new vertex i.
+  Graph InducedSubgraph(const std::vector<VertexId>& vertices,
+                        std::vector<VertexId>* origin_of) const;
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  std::vector<double> weights_;
+  size_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+/// A solution to a (hyper)graph MIS instance.
+struct MisSolution {
+  std::vector<VertexId> vertices;
+  double weight = 0.0;
+  /// True when the solver proved optimality.
+  bool optimal = false;
+};
+
+}  // namespace mis
+}  // namespace oct
+
+#endif  // OCT_MIS_GRAPH_H_

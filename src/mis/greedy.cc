@@ -1,0 +1,32 @@
+#include "mis/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace oct {
+namespace mis {
+
+MisSolution SolveGreedy(const Graph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const double ka = graph.weight(a) / static_cast<double>(graph.Degree(a) + 1);
+    const double kb = graph.weight(b) / static_cast<double>(graph.Degree(b) + 1);
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+  std::vector<char> blocked(n, 0);
+  MisSolution sol;
+  for (VertexId v : order) {
+    if (blocked[v]) continue;
+    sol.vertices.push_back(v);
+    sol.weight += graph.weight(v);
+    for (VertexId u : graph.Neighbors(v)) blocked[u] = 1;
+  }
+  std::sort(sol.vertices.begin(), sol.vertices.end());
+  return sol;
+}
+
+}  // namespace mis
+}  // namespace oct

@@ -1,0 +1,19 @@
+// Greedy weighted-MIS construction: the classical w(v)/(deg(v)+1) ordering,
+// which guarantees the weighted Turán bound and serves as the incumbent
+// initializer for branch-and-bound and local search.
+
+#ifndef OCT_MIS_GREEDY_H_
+#define OCT_MIS_GREEDY_H_
+
+#include "mis/graph.h"
+
+namespace oct {
+namespace mis {
+
+/// Builds an independent set greedily by descending w(v)/(deg(v)+1).
+MisSolution SolveGreedy(const Graph& graph);
+
+}  // namespace mis
+}  // namespace oct
+
+#endif  // OCT_MIS_GREEDY_H_

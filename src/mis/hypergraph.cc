@@ -1,0 +1,90 @@
+#include "mis/hypergraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace mis {
+
+Hypergraph::Hypergraph(size_t num_vertices)
+    : weights_(num_vertices, 1.0), incident_(num_vertices) {}
+
+void Hypergraph::AddEdge2(VertexId a, VertexId b) {
+  OCT_CHECK_NE(a, b);
+  HyperEdge e;
+  e.v = {std::min(a, b), std::max(a, b), HyperEdge::kNoVertex};
+  edges_.push_back(e);
+  finalized_ = false;
+}
+
+void Hypergraph::AddEdge3(VertexId a, VertexId b, VertexId c) {
+  OCT_CHECK(a != b && b != c && a != c);
+  std::array<VertexId, 3> v = {a, b, c};
+  std::sort(v.begin(), v.end());
+  HyperEdge e;
+  e.v = v;
+  edges_.push_back(e);
+  finalized_ = false;
+}
+
+void Hypergraph::Finalize() {
+  std::sort(edges_.begin(), edges_.end(),
+            [](const HyperEdge& a, const HyperEdge& b) { return a.v < b.v; });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const HyperEdge& a, const HyperEdge& b) {
+                             return a.v == b.v;
+                           }),
+               edges_.end());
+  // Drop 3-edges subsumed by a 2-edge: an IS avoiding the pair trivially
+  // avoids the triple.
+  std::set<std::pair<VertexId, VertexId>> pairs;
+  for (const auto& e : edges_) {
+    if (e.size() == 2) pairs.insert({e.v[0], e.v[1]});
+  }
+  edges_.erase(
+      std::remove_if(edges_.begin(), edges_.end(),
+                     [&](const HyperEdge& e) {
+                       if (e.size() != 3) return false;
+                       return pairs.count({e.v[0], e.v[1]}) > 0 ||
+                              pairs.count({e.v[0], e.v[2]}) > 0 ||
+                              pairs.count({e.v[1], e.v[2]}) > 0;
+                     }),
+      edges_.end());
+  for (auto& inc : incident_) inc.clear();
+  for (uint32_t id = 0; id < edges_.size(); ++id) {
+    const auto& e = edges_[id];
+    for (size_t i = 0; i < e.size(); ++i) incident_[e.v[i]].push_back(id);
+  }
+  finalized_ = true;
+}
+
+double Hypergraph::WeightOf(const std::vector<VertexId>& vertices) const {
+  double w = 0.0;
+  for (VertexId v : vertices) w += weights_[v];
+  return w;
+}
+
+bool Hypergraph::IsIndependentSet(
+    const std::vector<VertexId>& vertices) const {
+  std::vector<char> in(weights_.size(), 0);
+  for (VertexId v : vertices) {
+    if (in[v]) return false;
+    in[v] = 1;
+  }
+  for (const auto& e : edges_) {
+    bool all = true;
+    for (size_t i = 0; i < e.size(); ++i) {
+      if (!in[e.v[i]]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return false;
+  }
+  return true;
+}
+
+}  // namespace mis
+}  // namespace oct

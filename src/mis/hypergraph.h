@@ -1,0 +1,68 @@
+// Weighted hypergraph with edges of size 2 and 3 — the conflict hypergraph
+// of CTCR for threshold < 1 (Section 3.2): hyperedges are 2-conflicts and
+// 3-conflicts; an independent set is a vertex set containing no hyperedge
+// entirely.
+
+#ifndef OCT_MIS_HYPERGRAPH_H_
+#define OCT_MIS_HYPERGRAPH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mis/graph.h"
+
+namespace oct {
+namespace mis {
+
+/// A hyperedge: 2 or 3 distinct vertices (sorted). For 2-edges, v[2] is
+/// kNoVertex.
+struct HyperEdge {
+  static constexpr VertexId kNoVertex = UINT32_MAX;
+  std::array<VertexId, 3> v{kNoVertex, kNoVertex, kNoVertex};
+
+  size_t size() const { return v[2] == kNoVertex ? 2 : 3; }
+};
+
+/// A vertex-weighted hypergraph with 2- and 3-edges.
+class Hypergraph {
+ public:
+  explicit Hypergraph(size_t num_vertices);
+
+  size_t num_vertices() const { return weights_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<HyperEdge>& edges() const { return edges_; }
+
+  void AddEdge2(VertexId a, VertexId b);
+  void AddEdge3(VertexId a, VertexId b, VertexId c);
+
+  /// Sorts edges and removes duplicates and 3-edges subsumed by 2-edges
+  /// (a 3-edge containing both endpoints of a 2-edge is redundant).
+  void Finalize();
+
+  double weight(VertexId v) const { return weights_[v]; }
+  void set_weight(VertexId v, double w) { weights_[v] = w; }
+
+  /// Edge ids incident to a vertex (valid after Finalize()).
+  const std::vector<uint32_t>& IncidentEdges(VertexId v) const {
+    return incident_[v];
+  }
+  size_t Degree(VertexId v) const { return incident_[v].size(); }
+
+  double WeightOf(const std::vector<VertexId>& vertices) const;
+
+  /// True when no hyperedge is fully contained in `vertices`.
+  bool IsIndependentSet(const std::vector<VertexId>& vertices) const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<HyperEdge> edges_;
+  std::vector<std::vector<uint32_t>> incident_;
+  bool finalized_ = false;
+};
+
+}  // namespace mis
+}  // namespace oct
+
+#endif  // OCT_MIS_HYPERGRAPH_H_

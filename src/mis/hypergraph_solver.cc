@@ -1,0 +1,194 @@
+#include "mis/hypergraph_solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace mis {
+
+namespace {
+
+/// True when adding v to the selection would fully select some edge.
+bool WouldCompleteEdge(const Hypergraph& hg, const std::vector<char>& in,
+                       VertexId v) {
+  for (uint32_t e_id : hg.IncidentEdges(v)) {
+    const HyperEdge& e = hg.edges()[e_id];
+    bool others_in = true;
+    for (size_t i = 0; i < e.size(); ++i) {
+      if (e.v[i] != v && !in[e.v[i]]) {
+        others_in = false;
+        break;
+      }
+    }
+    if (others_in) return true;
+  }
+  return false;
+}
+
+MisSolution ToSolution(const Hypergraph& hg, const std::vector<char>& in) {
+  MisSolution sol;
+  for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+    if (in[v]) {
+      sol.vertices.push_back(v);
+      sol.weight += hg.weight(v);
+    }
+  }
+  return sol;
+}
+
+/// Greedy by descending w(v) / (degree(v) + 1).
+std::vector<char> GreedySelect(const Hypergraph& hg) {
+  const size_t n = hg.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const double ka = hg.weight(a) / static_cast<double>(hg.Degree(a) + 1);
+    const double kb = hg.weight(b) / static_cast<double>(hg.Degree(b) + 1);
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+  std::vector<char> in(n, 0);
+  for (VertexId v : order) {
+    if (!WouldCompleteEdge(hg, in, v)) in[v] = 1;
+  }
+  return in;
+}
+
+/// One swap pass: insert any excluded vertex whose weight exceeds the total
+/// weight of the minimum eviction set unblocking it. Returns improvement.
+bool SwapPass(const Hypergraph& hg, std::vector<char>* in) {
+  bool improved = false;
+  for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+    if ((*in)[v]) continue;
+    // Edges that v's insertion would complete; evict the lightest selected
+    // member of each.
+    std::vector<VertexId> blockers;
+    for (uint32_t e_id : hg.IncidentEdges(v)) {
+      const HyperEdge& e = hg.edges()[e_id];
+      bool others_in = true;
+      VertexId lightest = HyperEdge::kNoVertex;
+      for (size_t i = 0; i < e.size(); ++i) {
+        const VertexId u = e.v[i];
+        if (u == v) continue;
+        if (!(*in)[u]) {
+          others_in = false;
+          break;
+        }
+        if (lightest == HyperEdge::kNoVertex ||
+            hg.weight(u) < hg.weight(lightest)) {
+          lightest = u;
+        }
+      }
+      if (others_in && lightest != HyperEdge::kNoVertex) {
+        blockers.push_back(lightest);
+      }
+    }
+    std::sort(blockers.begin(), blockers.end());
+    blockers.erase(std::unique(blockers.begin(), blockers.end()),
+                   blockers.end());
+    double evict_weight = 0.0;
+    for (VertexId u : blockers) evict_weight += hg.weight(u);
+    if (hg.weight(v) > evict_weight + 1e-12) {
+      for (VertexId u : blockers) (*in)[u] = 0;
+      (*in)[v] = 1;
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+/// Exact branch-and-bound for small instances.
+class ExactHg {
+ public:
+  ExactHg(const Hypergraph& hg, size_t max_nodes)
+      : hg_(hg), max_nodes_(max_nodes) {
+    const size_t n = hg.num_vertices();
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), 0);
+    // Heaviest first improves early incumbents.
+    std::sort(order_.begin(), order_.end(), [&](VertexId a, VertexId b) {
+      return hg.weight(a) > hg.weight(b);
+    });
+    suffix_weight_.assign(n + 1, 0.0);
+    for (size_t i = n; i-- > 0;) {
+      suffix_weight_[i] = suffix_weight_[i + 1] + hg.weight(order_[i]);
+    }
+    in_.assign(n, 0);
+    best_ = ToSolution(hg, GreedySelect(hg));
+  }
+
+  MisSolution Solve() {
+    complete_ = true;
+    Recurse(0, 0.0);
+    best_.optimal = complete_;
+    return best_;
+  }
+
+ private:
+  void Recurse(size_t idx, double weight) {
+    if (++nodes_ > max_nodes_) {
+      complete_ = false;
+      return;
+    }
+    if (idx == order_.size()) {
+      if (weight > best_.weight + 1e-12) {
+        best_ = ToSolution(hg_, in_);
+      }
+      return;
+    }
+    if (weight + suffix_weight_[idx] <= best_.weight + 1e-12) return;
+    const VertexId v = order_[idx];
+    if (!WouldCompleteEdge(hg_, in_, v)) {
+      in_[v] = 1;
+      Recurse(idx + 1, weight + hg_.weight(v));
+      in_[v] = 0;
+    }
+    Recurse(idx + 1, weight);
+  }
+
+  const Hypergraph& hg_;
+  const size_t max_nodes_;
+  std::vector<VertexId> order_;
+  std::vector<double> suffix_weight_;
+  std::vector<char> in_;
+  MisSolution best_;
+  size_t nodes_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace
+
+MisSolution SolveHypergraphMis(const Hypergraph& hypergraph,
+                               const HypergraphSolverOptions& options) {
+  const size_t n = hypergraph.num_vertices();
+  if (n == 0) {
+    MisSolution empty;
+    empty.optimal = true;
+    return empty;
+  }
+  // Count vertices actually touched by an edge; untouched ones are free.
+  size_t touched = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (hypergraph.Degree(v) > 0) ++touched;
+  }
+  if (touched <= options.exact_vertex_limit) {
+    ExactHg exact(hypergraph, options.max_nodes);
+    MisSolution sol = exact.Solve();
+    OCT_DCHECK(hypergraph.IsIndependentSet(sol.vertices));
+    return sol;
+  }
+  std::vector<char> in = GreedySelect(hypergraph);
+  for (size_t round = 0; round < options.swap_rounds; ++round) {
+    if (!SwapPass(hypergraph, &in)) break;
+  }
+  MisSolution sol = ToSolution(hypergraph, in);
+  sol.optimal = hypergraph.num_edges() == 0;
+  OCT_DCHECK(hypergraph.IsIndependentSet(sol.vertices));
+  return sol;
+}
+
+}  // namespace mis
+}  // namespace oct

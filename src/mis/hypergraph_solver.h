@@ -1,0 +1,35 @@
+// Weighted independent set in hypergraphs with 2- and 3-edges, the substrate
+// CTCR uses for thresholds < 1 (Section 3.2). Plays the role of the
+// partitioning-based bounded-degree hypergraph MIS algorithm of
+// Halldórsson-Losievskaja [15]: an exact branch-and-bound for small kernels
+// and a greedy + swap local search for large sparse instances.
+
+#ifndef OCT_MIS_HYPERGRAPH_SOLVER_H_
+#define OCT_MIS_HYPERGRAPH_SOLVER_H_
+
+#include "mis/graph.h"
+#include "mis/hypergraph.h"
+
+namespace oct {
+namespace mis {
+
+struct HypergraphSolverOptions {
+  /// Exact branch-and-bound is attempted when the post-reduction kernel has
+  /// at most this many vertices.
+  size_t exact_vertex_limit = 48;
+  /// Node budget for the exact search.
+  size_t max_nodes = 2'000'000;
+  /// Local-search swap passes.
+  size_t swap_rounds = 4;
+  uint64_t seed = 42;
+};
+
+/// Computes a heavy independent set (no hyperedge fully selected).
+/// `optimal` is set only when the instance was solved exactly.
+MisSolution SolveHypergraphMis(const Hypergraph& hypergraph,
+                               const HypergraphSolverOptions& options = {});
+
+}  // namespace mis
+}  // namespace oct
+
+#endif  // OCT_MIS_HYPERGRAPH_SOLVER_H_

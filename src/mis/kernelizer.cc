@@ -1,0 +1,170 @@
+#include "mis/kernelizer.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace mis {
+
+namespace {
+/// Degree cap for attempting the (quadratic-ish) domination check.
+constexpr size_t kDominationDegreeCap = 32;
+}  // namespace
+
+Kernelizer::Kernelizer(const Graph& graph) : original_(&graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<char> alive(n, 1);
+  std::vector<double> weight(n);
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    weight[v] = graph.weight(v);
+    adj[v] = graph.Neighbors(v);  // Sorted by Graph::Finalize.
+  }
+
+  auto erase_from = [&](std::vector<VertexId>* list, VertexId v) {
+    auto it = std::lower_bound(list->begin(), list->end(), v);
+    if (it != list->end() && *it == v) list->erase(it);
+  };
+
+  std::queue<VertexId> work;
+  std::vector<char> queued(n, 0);
+  auto enqueue = [&](VertexId v) {
+    if (alive[v] && !queued[v]) {
+      work.push(v);
+      queued[v] = 1;
+    }
+  };
+  auto remove_vertex = [&](VertexId v) {
+    alive[v] = 0;
+    for (VertexId u : adj[v]) {
+      if (!alive[u]) continue;
+      erase_from(&adj[u], v);
+      enqueue(u);
+    }
+    adj[v].clear();
+  };
+
+  for (VertexId v = 0; v < n; ++v) enqueue(v);
+
+  while (!work.empty()) {
+    const VertexId v = work.front();
+    work.pop();
+    queued[v] = 0;
+    if (!alive[v]) continue;
+
+    // Neighborhood removal (subsumes isolated vertices and heavy pendants).
+    double nbr_weight = 0.0;
+    for (VertexId u : adj[v]) nbr_weight += weight[u];
+    if (weight[v] >= nbr_weight - 1e-12) {
+      actions_.push_back({Action::Kind::kTake, v, 0});
+      offset_ += weight[v];
+      ++taken_count_;
+      const std::vector<VertexId> nbrs = adj[v];
+      remove_vertex(v);
+      for (VertexId u : nbrs) {
+        if (alive[u]) remove_vertex(u);
+      }
+      continue;
+    }
+
+    // Degree-1 fold: w(v) < w(u) here (heavier pendants were taken above).
+    if (adj[v].size() == 1) {
+      const VertexId u = adj[v][0];
+      actions_.push_back({Action::Kind::kFold, v, u});
+      offset_ += weight[v];
+      weight[u] -= weight[v];
+      ++fold_count_;
+      remove_vertex(v);
+      enqueue(u);
+      continue;
+    }
+
+    // Domination: an adjacent u with N[u] ⊆ N[v] and w(u) >= w(v) makes v
+    // removable.
+    if (adj[v].size() <= kDominationDegreeCap) {
+      bool dominated = false;
+      for (VertexId u : adj[v]) {
+        if (weight[u] < weight[v] - 1e-12) continue;
+        if (adj[u].size() > adj[v].size()) continue;
+        // N[u] ⊆ N[v]  <=>  every neighbor of u (except v) neighbors v.
+        bool subset = true;
+        for (VertexId w : adj[u]) {
+          if (w == v) continue;
+          if (!std::binary_search(adj[v].begin(), adj[v].end(), w)) {
+            subset = false;
+            break;
+          }
+        }
+        if (subset) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        actions_.push_back({Action::Kind::kDominated, v, 0});
+        ++dominated_count_;
+        remove_vertex(v);
+        continue;
+      }
+    }
+  }
+
+  // Build the kernel graph over surviving vertices with updated weights.
+  std::vector<VertexId> local(n, UINT32_MAX);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) {
+      local[v] = static_cast<VertexId>(origin_of_.size());
+      origin_of_.push_back(v);
+    }
+  }
+  kernel_ = Graph(origin_of_.size());
+  for (size_t i = 0; i < origin_of_.size(); ++i) {
+    const VertexId v = origin_of_[i];
+    kernel_.set_weight(static_cast<VertexId>(i), weight[v]);
+    for (VertexId u : adj[v]) {
+      if (u > v && local[u] != UINT32_MAX) {
+        kernel_.AddEdge(static_cast<VertexId>(i), local[u]);
+      }
+    }
+  }
+  kernel_.Finalize();
+}
+
+MisSolution Kernelizer::Decode(const MisSolution& kernel_solution) const {
+  std::vector<char> in_set(original_->num_vertices(), 0);
+  for (VertexId k : kernel_solution.vertices) {
+    OCT_DCHECK_LT(k, origin_of_.size());
+    in_set[origin_of_[k]] = 1;
+  }
+  // Replay reductions backwards.
+  for (auto it = actions_.rbegin(); it != actions_.rend(); ++it) {
+    switch (it->kind) {
+      case Action::Kind::kTake:
+        in_set[it->v] = 1;
+        break;
+      case Action::Kind::kFold:
+        // If the fold partner made it into the solution it already pays the
+        // reduced weight and the offset tops it up; otherwise v is free to
+        // join (all its other neighbors were just u).
+        if (!in_set[it->u]) in_set[it->v] = 1;
+        break;
+      case Action::Kind::kDominated:
+        break;
+    }
+  }
+  MisSolution out;
+  for (VertexId v = 0; v < original_->num_vertices(); ++v) {
+    if (in_set[v]) {
+      out.vertices.push_back(v);
+      out.weight += original_->weight(v);
+    }
+  }
+  out.optimal = kernel_solution.optimal;
+  OCT_DCHECK(original_->IsIndependentSet(out.vertices));
+  return out;
+}
+
+}  // namespace mis
+}  // namespace oct

@@ -1,0 +1,69 @@
+// Exactness-preserving kernelization for weighted MIS, with solution
+// decoding — the reduction repertoire of practical branch-and-reduce
+// solvers (cf. Lamm et al.):
+//
+//  - isolated vertex            : take it;
+//  - neighborhood removal       : w(v) >= w(N(v)) -> take v, delete N[v];
+//  - heavy pendant              : deg(v) = 1, w(v) >= w(u) -> take v;
+//  - degree-1 fold              : deg(v) = 1, w(v) < w(u) -> delete v,
+//                                 w(u) -= w(v); afterwards u in the kernel
+//                                 solution decodes to u, otherwise to v;
+//                                 the objective gains a constant w(v);
+//  - domination                 : u, v adjacent, N[u] ⊆ N[v], w(u) >= w(v)
+//                                 -> delete v.
+//
+// MIS(G) = offset + MIS(kernel); Decode() lifts a kernel solution back to
+// an original-graph independent set of weight offset + kernel weight.
+
+#ifndef OCT_MIS_KERNELIZER_H_
+#define OCT_MIS_KERNELIZER_H_
+
+#include <vector>
+
+#include "mis/graph.h"
+
+namespace oct {
+namespace mis {
+
+class Kernelizer {
+ public:
+  /// Runs all reductions to a fixed point on `graph`.
+  explicit Kernelizer(const Graph& graph);
+
+  /// The reduced instance (weights may differ from the original's).
+  const Graph& kernel() const { return kernel_; }
+  /// Original vertex id of kernel vertex i.
+  const std::vector<VertexId>& origin_of() const { return origin_of_; }
+  /// Weight guaranteed regardless of how the kernel is solved.
+  double offset() const { return offset_; }
+
+  /// Lifts a kernel independent set (kernel vertex ids) to an original
+  /// independent set; its weight equals offset() + kernel weight.
+  MisSolution Decode(const MisSolution& kernel_solution) const;
+
+  /// Diagnostics.
+  size_t num_taken() const { return taken_count_; }
+  size_t num_folded() const { return fold_count_; }
+  size_t num_dominated() const { return dominated_count_; }
+
+ private:
+  struct Action {
+    enum class Kind { kTake, kFold, kDominated } kind;
+    VertexId v = 0;  // Vertex decided by this action.
+    VertexId u = 0;  // Fold partner (kFold only).
+  };
+
+  const Graph* original_;
+  Graph kernel_{0};
+  std::vector<VertexId> origin_of_;
+  std::vector<Action> actions_;
+  double offset_ = 0.0;
+  size_t taken_count_ = 0;
+  size_t fold_count_ = 0;
+  size_t dominated_count_ = 0;
+};
+
+}  // namespace mis
+}  // namespace oct
+
+#endif  // OCT_MIS_KERNELIZER_H_

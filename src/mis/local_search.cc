@@ -1,0 +1,98 @@
+#include "mis/local_search.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace mis {
+
+namespace {
+
+/// One full (1,k)-swap pass: for every vertex v outside the IS, insert it
+/// whenever its weight exceeds the total weight of its IS neighbors (which
+/// get evicted). Returns whether any improvement was made.
+bool SwapPass(const Graph& graph, std::vector<char>* in_set, double* weight) {
+  bool improved = false;
+  const size_t n = graph.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if ((*in_set)[v]) continue;
+    double conflict_weight = 0.0;
+    for (VertexId u : graph.Neighbors(v)) {
+      if ((*in_set)[u]) conflict_weight += graph.weight(u);
+    }
+    if (graph.weight(v) > conflict_weight + 1e-12) {
+      for (VertexId u : graph.Neighbors(v)) {
+        if ((*in_set)[u]) {
+          (*in_set)[u] = 0;
+          *weight -= graph.weight(u);
+        }
+      }
+      (*in_set)[v] = 1;
+      *weight += graph.weight(v);
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+MisSolution ToSolution(const Graph& graph, const std::vector<char>& in_set) {
+  MisSolution sol;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (in_set[v]) {
+      sol.vertices.push_back(v);
+      sol.weight += graph.weight(v);
+    }
+  }
+  return sol;
+}
+
+}  // namespace
+
+MisSolution LocalSearchImprove(const Graph& graph, const MisSolution& initial,
+                               const LocalSearchOptions& options) {
+  OCT_DCHECK(graph.IsIndependentSet(initial.vertices));
+  const size_t n = graph.num_vertices();
+  std::vector<char> in_set(n, 0);
+  double weight = 0.0;
+  for (VertexId v : initial.vertices) {
+    in_set[v] = 1;
+    weight += graph.weight(v);
+  }
+  while (SwapPass(graph, &in_set, &weight)) {
+  }
+  std::vector<char> best_set = in_set;
+  double best_weight = weight;
+
+  Rng rng(options.seed);
+  for (size_t round = 0; round < options.rounds && n > 0; ++round) {
+    // Perturb: force a few random vertices in, evicting their neighbors.
+    for (size_t p = 0; p < options.perturbation; ++p) {
+      const VertexId v = static_cast<VertexId>(rng.NextBelow(n));
+      if (in_set[v]) continue;
+      for (VertexId u : graph.Neighbors(v)) {
+        if (in_set[u]) {
+          in_set[u] = 0;
+          weight -= graph.weight(u);
+        }
+      }
+      in_set[v] = 1;
+      weight += graph.weight(v);
+    }
+    while (SwapPass(graph, &in_set, &weight)) {
+    }
+    if (weight > best_weight) {
+      best_weight = weight;
+      best_set = in_set;
+    } else {
+      in_set = best_set;
+      weight = best_weight;
+    }
+  }
+  MisSolution sol = ToSolution(graph, best_set);
+  OCT_DCHECK(graph.IsIndependentSet(sol.vertices));
+  return sol;
+}
+
+}  // namespace mis
+}  // namespace oct

@@ -1,0 +1,30 @@
+// Weighted local search for MIS, in the spirit of the iterated local search
+// used by practical solvers: (1,k)-swaps (insert a vertex after evicting its
+// lighter independent-set neighbors) plus random perturbation restarts.
+
+#ifndef OCT_MIS_LOCAL_SEARCH_H_
+#define OCT_MIS_LOCAL_SEARCH_H_
+
+#include "mis/graph.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace mis {
+
+struct LocalSearchOptions {
+  /// Number of perturbation rounds.
+  size_t rounds = 20;
+  /// Vertices force-inserted per perturbation.
+  size_t perturbation = 2;
+  uint64_t seed = 42;
+};
+
+/// Improves `initial` (must be an IS) by repeated (1,k)-swap passes and
+/// perturbations; returns the best IS found (never worse than `initial`).
+MisSolution LocalSearchImprove(const Graph& graph, const MisSolution& initial,
+                               const LocalSearchOptions& options = {});
+
+}  // namespace mis
+}  // namespace oct
+
+#endif  // OCT_MIS_LOCAL_SEARCH_H_

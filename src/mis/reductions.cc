@@ -1,0 +1,64 @@
+#include "mis/reductions.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace oct {
+namespace mis {
+
+ReductionResult ReduceNeighborhoodRemoval(const Graph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<char> alive(n, 1);
+  std::vector<double> nbr_weight(n, 0.0);
+  std::vector<size_t> degree(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    for (VertexId u : graph.Neighbors(v)) nbr_weight[v] += graph.weight(u);
+  }
+  ReductionResult result;
+  std::queue<VertexId> work;
+  std::vector<char> queued(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    work.push(v);
+    queued[v] = 1;
+  }
+  auto remove_vertex = [&](VertexId v) {
+    alive[v] = 0;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (!alive[u]) continue;
+      nbr_weight[u] -= graph.weight(v);
+      --degree[u];
+      if (!queued[u]) {
+        work.push(u);
+        queued[u] = 1;
+      }
+    }
+  };
+  while (!work.empty()) {
+    const VertexId v = work.front();
+    work.pop();
+    queued[v] = 0;
+    if (!alive[v]) continue;
+    if (graph.weight(v) >= nbr_weight[v] - 1e-12) {
+      // Take v; delete its closed neighborhood.
+      result.forced.push_back(v);
+      result.forced_weight += graph.weight(v);
+      std::vector<VertexId> to_remove;
+      for (VertexId u : graph.Neighbors(v)) {
+        if (alive[u]) to_remove.push_back(u);
+      }
+      remove_vertex(v);
+      for (VertexId u : to_remove) {
+        if (alive[u]) remove_vertex(u);
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) result.kernel.push_back(v);
+  }
+  std::sort(result.forced.begin(), result.forced.end());
+  return result;
+}
+
+}  // namespace mis
+}  // namespace oct

@@ -1,0 +1,35 @@
+// Weighted-MIS kernelization: exactness-preserving reductions applied before
+// branch-and-bound. Conflict graphs derived from real inputs are sparse
+// (Section 3 of the paper), so these reductions typically shrink instances
+// dramatically, mirroring the behaviour of practical branch-and-reduce
+// solvers.
+
+#ifndef OCT_MIS_REDUCTIONS_H_
+#define OCT_MIS_REDUCTIONS_H_
+
+#include <vector>
+
+#include "mis/graph.h"
+
+namespace oct {
+namespace mis {
+
+/// Result of kernelization.
+struct ReductionResult {
+  /// Vertices proven to be in some optimal solution.
+  std::vector<VertexId> forced;
+  double forced_weight = 0.0;
+  /// Remaining vertices (original ids) forming the kernel.
+  std::vector<VertexId> kernel;
+};
+
+/// Applies, to a fixed point, the *neighborhood removal* reduction: any
+/// vertex v with w(v) >= sum of the weights of its alive neighbors belongs
+/// to some optimal solution; take it and delete N[v]. This subsumes the
+/// isolated-vertex and heavy-pendant reductions. Exactness-preserving.
+ReductionResult ReduceNeighborhoodRemoval(const Graph& graph);
+
+}  // namespace mis
+}  // namespace oct
+
+#endif  // OCT_MIS_REDUCTIONS_H_

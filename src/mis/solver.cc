@@ -1,0 +1,50 @@
+#include "mis/solver.h"
+
+#include <algorithm>
+
+#include "mis/greedy.h"
+#include "mis/kernelizer.h"
+#include "mis/local_search.h"
+#include "util/logging.h"
+
+namespace oct {
+namespace mis {
+
+MisSolution SolveMis(const Graph& graph, const MisOptions& options) {
+  // Phase 1: kernelize (neighborhood removal, degree-1 folds, domination).
+  const Kernelizer kernelizer(graph);
+  const Graph& kernel = kernelizer.kernel();
+
+  // Phase 2: solve the kernel.
+  MisSolution kernel_sol;
+  kernel_sol.optimal = true;
+  if (kernel.num_vertices() > 0) {
+    if (kernel.num_vertices() <= options.exact_kernel_limit) {
+      ExactOptions exact;
+      exact.max_nodes = options.max_nodes;
+      kernel_sol = SolveExact(kernel, exact);
+    } else {
+      kernel_sol.optimal = false;
+    }
+    if (!kernel_sol.optimal) {
+      // Fall back to / improve with local search.
+      LocalSearchOptions ls;
+      ls.seed = options.seed;
+      const MisSolution improved =
+          LocalSearchImprove(kernel, SolveGreedy(kernel), ls);
+      if (improved.weight > kernel_sol.weight) {
+        const bool was_optimal = kernel_sol.optimal;
+        kernel_sol = improved;
+        kernel_sol.optimal = was_optimal;
+      }
+    }
+  }
+
+  // Phase 3: decode through the reduction stack.
+  MisSolution result = kernelizer.Decode(kernel_sol);
+  OCT_DCHECK(graph.IsIndependentSet(result.vertices));
+  return result;
+}
+
+}  // namespace mis
+}  // namespace oct

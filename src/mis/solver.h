@@ -1,0 +1,29 @@
+// Solver facade: kernelize, solve the kernel exactly when affordable, fall
+// back to greedy + local search otherwise. This is the "practical MIS
+// solver" interface CTCR plugs into (Section 3).
+
+#ifndef OCT_MIS_SOLVER_H_
+#define OCT_MIS_SOLVER_H_
+
+#include "mis/exact_solver.h"
+#include "mis/graph.h"
+
+namespace oct {
+namespace mis {
+
+struct MisOptions {
+  /// Branch-and-bound node budget (after kernelization).
+  size_t max_nodes = 5'000'000;
+  /// Skip the exact phase entirely when the kernel exceeds this many
+  /// vertices; greedy + local search is used instead.
+  size_t exact_kernel_limit = 20'000;
+  uint64_t seed = 42;
+};
+
+/// Computes a heavy (often optimal) weighted independent set.
+MisSolution SolveMis(const Graph& graph, const MisOptions& options = {});
+
+}  // namespace mis
+}  // namespace oct
+
+#endif  // OCT_MIS_SOLVER_H_

@@ -1,0 +1,75 @@
+// Minimal logging and assertion macros (glog-flavoured, as in Arrow/RocksDB).
+
+#ifndef OCT_UTIL_LOGGING_H_
+#define OCT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace oct {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Stream-style log sink; emits on destruction. FATAL aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Minimum level that is actually emitted (default: Info).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+}  // namespace internal
+}  // namespace oct
+
+#define OCT_LOG_DEBUG \
+  ::oct::internal::LogMessage(::oct::internal::LogLevel::kDebug, __FILE__, __LINE__)
+#define OCT_LOG_INFO \
+  ::oct::internal::LogMessage(::oct::internal::LogLevel::kInfo, __FILE__, __LINE__)
+#define OCT_LOG_WARNING \
+  ::oct::internal::LogMessage(::oct::internal::LogLevel::kWarning, __FILE__, __LINE__)
+#define OCT_LOG_ERROR \
+  ::oct::internal::LogMessage(::oct::internal::LogLevel::kError, __FILE__, __LINE__)
+
+/// Precondition check: aborts with a message when `cond` is false.
+#define OCT_CHECK(cond)                                                       \
+  if (!(cond))                                                                \
+  ::oct::internal::LogMessage(::oct::internal::LogLevel::kFatal, __FILE__,    \
+                              __LINE__)                                       \
+      << "Check failed: " #cond " "
+
+#define OCT_CHECK_EQ(a, b) OCT_CHECK((a) == (b))
+#define OCT_CHECK_NE(a, b) OCT_CHECK((a) != (b))
+#define OCT_CHECK_LT(a, b) OCT_CHECK((a) < (b))
+#define OCT_CHECK_LE(a, b) OCT_CHECK((a) <= (b))
+#define OCT_CHECK_GT(a, b) OCT_CHECK((a) > (b))
+#define OCT_CHECK_GE(a, b) OCT_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define OCT_DCHECK(cond) OCT_CHECK(cond)
+#else
+#define OCT_DCHECK(cond) \
+  while (false) OCT_CHECK(cond)
+#endif
+
+#define OCT_DCHECK_EQ(a, b) OCT_DCHECK((a) == (b))
+#define OCT_DCHECK_NE(a, b) OCT_DCHECK((a) != (b))
+#define OCT_DCHECK_LT(a, b) OCT_DCHECK((a) < (b))
+#define OCT_DCHECK_LE(a, b) OCT_DCHECK((a) <= (b))
+#define OCT_DCHECK_GT(a, b) OCT_DCHECK((a) > (b))
+#define OCT_DCHECK_GE(a, b) OCT_DCHECK((a) >= (b))
+
+#endif  // OCT_UTIL_LOGGING_H_

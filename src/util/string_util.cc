@@ -1,0 +1,54 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace oct {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string ToLower(std::string s) {
+  for (char& ch : s) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return s;
+}
+
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    } else if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace oct

@@ -1,0 +1,28 @@
+// Small string helpers (join/split/lowercase/tokenize) used by the data
+// substrate and the tf-idf cohesiveness metric.
+
+#ifndef OCT_UTIL_STRING_UTIL_H_
+#define OCT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace oct {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; empty tokens are kept.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// ASCII lowercase.
+std::string ToLower(std::string s);
+
+/// Splits into lowercase alphanumeric word tokens (everything else is a
+/// separator). Used for tf-idf over product titles.
+std::vector<std::string> Tokenize(const std::string& s);
+
+}  // namespace oct
+
+#endif  // OCT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,80 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace oct {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  OCT_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableWriter::ToAligned() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string TableWriter::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << CsvEscape(row[c]);
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace oct

@@ -1,0 +1,39 @@
+// Aligned-console and CSV table output used by the benchmark harness to
+// print the rows/series of the paper's tables and figures.
+
+#ifndef OCT_UTIL_TABLE_WRITER_H_
+#define OCT_UTIL_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace oct {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// plain-text table (for console) or as CSV.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string Num(double v, int precision = 4);
+
+  /// Renders an aligned table with a separator under the header.
+  std::string ToAligned() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oct
+
+#endif  // OCT_UTIL_TABLE_WRITER_H_

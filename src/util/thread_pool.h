@@ -1,0 +1,60 @@
+// Fixed-size thread pool used to parallelize conflict enumeration and
+// scoring (Section 5.3 of the paper: "CTCR is highly parallelizable").
+
+#ifndef OCT_UTIL_THREAD_POOL_H_
+#define OCT_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace oct {
+
+/// A simple work-queue thread pool. Tasks are void() callables; WaitIdle()
+/// blocks until every submitted task has completed.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
+  /// pool, blocking until all chunks finish. Runs inline when the pool has
+  /// one worker or n is small.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (size = hardware concurrency). Used by the
+/// library when the caller does not supply a pool.
+ThreadPool* DefaultThreadPool();
+
+}  // namespace oct
+
+#endif  // OCT_UTIL_THREAD_POOL_H_

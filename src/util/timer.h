@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for benchmarks and the scalability experiment.
+
+#ifndef OCT_UTIL_TIMER_H_
+#define OCT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace oct {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace oct
+
+#endif  // OCT_UTIL_TIMER_H_

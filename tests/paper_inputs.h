@@ -1,0 +1,42 @@
+// Shared fixtures: the worked inputs of the paper's figures.
+//
+// Figure 2/3 universe: items a..i are mapped to ids 0..8.
+//   q1 "black shirt"        = {a,b,c,d,e} weight 2
+//   q2 "black adidas shirt" = {a,b}       weight 1
+//   q3 "nike shirt"         = {c,d,e,f}   weight 1
+//   q4 "long sleeve shirt"  = {a,b,f,g,h,i} weight 1
+
+#ifndef OCT_TESTS_PAPER_INPUTS_H_
+#define OCT_TESTS_PAPER_INPUTS_H_
+
+#include "core/input.h"
+
+namespace oct {
+namespace testing_inputs {
+
+constexpr ItemId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6, h = 7,
+                 i = 8;
+
+/// The Figure 2 input (universe size 9, four weighted sets).
+inline OctInput Figure2Input() {
+  OctInput input(9);
+  input.Add(ItemSet({a, b, c, d, e}), 2.0, "black shirt");
+  input.Add(ItemSet({a, b}), 1.0, "black adidas shirt");
+  input.Add(ItemSet({c, d, e, f}), 1.0, "nike shirt");
+  input.Add(ItemSet({a, b, f, g, h, i}), 1.0, "long sleeve shirt");
+  return input;
+}
+
+/// The Example 3.2 / Figure 5 sets (universe size 8).
+inline OctInput Example32Input() {
+  OctInput input(8);
+  input.Add(ItemSet({0, 2, 3, 4, 5}), 3.0, "q1");  // {a,c,d,e,f}
+  input.Add(ItemSet({0, 1}), 2.0, "q2");           // {a,b}
+  input.Add(ItemSet({1, 6, 7}), 2.0, "q3");        // {b,g,h}
+  return input;
+}
+
+}  // namespace testing_inputs
+}  // namespace oct
+
+#endif  // OCT_TESTS_PAPER_INPUTS_H_

@@ -1,0 +1,124 @@
+// Tests for the per-variant cover-together / cover-separately closed forms
+// of Section 3, including the paper's worked pairs.
+
+#include <gtest/gtest.h>
+
+#include "ctcr/conflict_policy.h"
+
+namespace oct {
+namespace ctcr {
+namespace {
+
+PairStats Stats(size_t hi, size_t lo, size_t inter) {
+  PairStats p;
+  p.hi_size = hi;
+  p.lo_size = lo;
+  p.inter = inter;
+  p.inter_strict = inter;
+  return p;
+}
+
+TEST(ExactPolicy, ConflictIffNeitherDisjointNorContained) {
+  const ConflictPolicy policy(Similarity(Variant::kExact, 1.0));
+  // Disjoint: separately.
+  EXPECT_TRUE(policy.CanCoverSeparately(Stats(4, 3, 0)));
+  EXPECT_FALSE(policy.IsConflict(Stats(4, 3, 0)));
+  // Containment: together.
+  EXPECT_TRUE(policy.CanCoverTogether(Stats(5, 2, 2)));
+  EXPECT_TRUE(policy.MustCoverTogether(Stats(5, 2, 2)));
+  // Proper overlap: conflict.
+  EXPECT_TRUE(policy.IsConflict(Stats(5, 4, 2)));
+}
+
+TEST(PerfectRecallPolicy, Figure2Pairs) {
+  // delta = 0.8, the T1 setting of Example 2.1.
+  const ConflictPolicy policy(Similarity(Variant::kPerfectRecall, 0.8));
+  // (q1, q2): |q1|=5, |q2|=2, inter=2: precision 5/5 = 1 -> together.
+  EXPECT_TRUE(policy.MustCoverTogether(Stats(5, 2, 2)));
+  // (q4, q1): |q4|=6, |q1|=5, inter=2: 6/9 < 0.8, intersecting -> conflict.
+  EXPECT_TRUE(policy.IsConflict(Stats(6, 5, 2)));
+  // (q4, q3): |q4|=6, |q3|=4, inter=1: 6/9 < 0.8 -> conflict.
+  EXPECT_TRUE(policy.IsConflict(Stats(6, 4, 1)));
+  // (q2, q3): disjoint -> separately.
+  EXPECT_TRUE(policy.CanCoverSeparately(Stats(4, 2, 0)));
+}
+
+TEST(PerfectRecallPolicy, DisjointCanBeBothTogetherAndSeparately) {
+  // Example 3.2 (delta = 0.61): q1 (5 items), q3 (3 items), disjoint:
+  // 5/8 = 0.625 >= 0.61 -> coverable together AND separately (not "must").
+  const ConflictPolicy policy(Similarity(Variant::kPerfectRecall, 0.61));
+  const PairStats p = Stats(5, 3, 0);
+  EXPECT_TRUE(policy.CanCoverTogether(p));
+  EXPECT_TRUE(policy.CanCoverSeparately(p));
+  EXPECT_FALSE(policy.MustCoverTogether(p));
+  EXPECT_FALSE(policy.IsConflict(p));
+}
+
+TEST(JaccardPolicy, SeparateCoverBudget) {
+  const ConflictPolicy policy(Similarity(Variant::kJaccardThreshold, 0.8));
+  // |q1|=10, |q2|=10, inter=4: each side may shed floor(10*0.2) = 2,
+  // 4 <= 2+2 -> separately.
+  EXPECT_TRUE(policy.CanCoverSeparately(Stats(10, 10, 4)));
+  // inter=5: 5 > 4 -> not separately.
+  EXPECT_FALSE(policy.CanCoverSeparately(Stats(10, 10, 5)));
+}
+
+TEST(JaccardPolicy, TogetherCoverBudget) {
+  const ConflictPolicy policy(Similarity(Variant::kJaccardThreshold, 0.8));
+  // |q1|=10, |q2|=4, inter=4 (containment): y2 = max(0, ceil(3.2)-4) = 0.
+  EXPECT_TRUE(policy.CanCoverTogether(Stats(10, 4, 4)));
+  // |q1|=10, |q2|=8, inter=2: y2 = ceil(6.4)-2 = 5 > 10*0.25 = 2.5 -> no.
+  EXPECT_FALSE(policy.CanCoverTogether(Stats(10, 8, 2)));
+  // (10, 8, 2) is still separable (x1+x2 = 2+1 >= 2), hence no conflict;
+  // at inter=4 neither direction works -> conflict.
+  EXPECT_FALSE(policy.IsConflict(Stats(10, 8, 2)));
+  EXPECT_FALSE(policy.CanCoverSeparately(Stats(10, 8, 4)));
+  EXPECT_FALSE(policy.CanCoverTogether(Stats(10, 8, 4)));
+  EXPECT_TRUE(policy.IsConflict(Stats(10, 8, 4)));
+}
+
+TEST(JaccardPolicy, DeltaOneReducesToExact) {
+  const ConflictPolicy policy(Similarity(Variant::kJaccardThreshold, 1.0));
+  EXPECT_TRUE(policy.CanCoverSeparately(Stats(4, 3, 0)));
+  EXPECT_FALSE(policy.CanCoverSeparately(Stats(4, 3, 1)));
+  EXPECT_TRUE(policy.CanCoverTogether(Stats(5, 2, 2)));
+  EXPECT_FALSE(policy.CanCoverTogether(Stats(5, 2, 1)));
+}
+
+TEST(F1Policy, SeparateCoverBudget) {
+  const ConflictPolicy policy(Similarity(Variant::kF1Threshold, 0.8));
+  // Min cover of a 10-set at delta .8: ceil(8/1.2) = 7 -> may shed 3.
+  EXPECT_TRUE(policy.CanCoverSeparately(Stats(10, 10, 6)));
+  EXPECT_FALSE(policy.CanCoverSeparately(Stats(10, 10, 7)));
+}
+
+TEST(F1Policy, TogetherMoreForgivingThanJaccard) {
+  // F1 tolerates 2x the foreign items Jaccard does.
+  const ConflictPolicy f1(Similarity(Variant::kF1Threshold, 0.8));
+  const ConflictPolicy jc(Similarity(Variant::kJaccardThreshold, 0.8));
+  // |q1|=10, |q2|=8, inter=4: y2_f1 = ceil(0.8*8/1.2)-4 = 6-4 = 2;
+  // budget_f1 = 2*10*0.25 = 5 -> together OK.
+  EXPECT_TRUE(f1.CanCoverTogether(Stats(10, 8, 4)));
+  // Jaccard: y2 = ceil(6.4)-4 = 3 > 2.5 -> not together.
+  EXPECT_FALSE(jc.CanCoverTogether(Stats(10, 8, 4)));
+}
+
+TEST(Policy, RelaxedBoundsEaseSeparation) {
+  const ConflictPolicy policy(Similarity(Variant::kPerfectRecall, 0.8));
+  PairStats p = Stats(6, 5, 2);
+  p.inter_strict = 0;  // Both shared items may live on two branches.
+  EXPECT_TRUE(policy.CanCoverSeparately(p));
+  EXPECT_FALSE(policy.IsConflict(p));
+}
+
+TEST(Policy, PerSetDeltaOverrides) {
+  const ConflictPolicy policy(Similarity(Variant::kPerfectRecall, 0.9));
+  PairStats p = Stats(6, 5, 2);  // 6/9 = 0.67.
+  EXPECT_FALSE(policy.CanCoverTogether(p));
+  p.hi_delta = 0.6;  // Only the higher category's precision matters.
+  EXPECT_TRUE(policy.CanCoverTogether(p));
+}
+
+}  // namespace
+}  // namespace ctcr
+}  // namespace oct

@@ -1,0 +1,238 @@
+// End-to-end CTCR runs reproducing the paper's worked examples:
+// Figure 4 (Exact variant over the Figure 2 input), Example 2.1 / T1
+// (Perfect-Recall, delta 0.8), and the cutoff-Jaccard setting of T2.
+
+#include <gtest/gtest.h>
+
+#include "core/scoring.h"
+#include "ctcr/ctcr.h"
+#include "paper_inputs.h"
+
+namespace oct {
+namespace ctcr {
+namespace {
+
+using testing_inputs::Figure2Input;
+
+TEST(CtcrExact, Figure4OptimalSolution) {
+  // Conflict graph: triangle {q1,q3,q4}; weights 2,1,1,1. Optimal IS:
+  // {q1,q2} with weight 3; the tree covers it with C(q2) under C(q1).
+  const OctInput input = Figure2Input();
+  const Similarity sim(Variant::kExact, 1.0);
+  const CtcrResult result = BuildCategoryTree(input, sim);
+
+  EXPECT_TRUE(result.mis_optimal);
+  EXPECT_EQ(result.independent_set, (std::vector<SetId>{0, 1}));
+  EXPECT_DOUBLE_EQ(result.independent_set_weight, 3.0);
+
+  ASSERT_TRUE(result.tree.ValidateModel(input).ok());
+  const TreeScore score = ScoreTree(input, result.tree, sim);
+  // Theorem 3.1 tightness: for Exact, the score equals the IS weight.
+  EXPECT_DOUBLE_EQ(score.total, 3.0);
+  EXPECT_TRUE(score.per_set[0].covered);
+  EXPECT_TRUE(score.per_set[1].covered);
+  EXPECT_FALSE(score.per_set[2].covered);
+  EXPECT_FALSE(score.per_set[3].covered);
+
+  // Structure: C(q2) is a child of C(q1) (smallest containing set).
+  const NodeId c1 = score.per_set[0].best_node;
+  const NodeId c2 = score.per_set[1].best_node;
+  EXPECT_EQ(result.tree.node(c2).parent, c1);
+  EXPECT_EQ(result.tree.node(c1).parent, result.tree.root());
+  // A misc category holds the unused items {f,g,h,i}.
+  bool found_misc = false;
+  for (NodeId id = 0; id < result.tree.num_nodes(); ++id) {
+    if (result.tree.IsAlive(id) && result.tree.node(id).label == "misc") {
+      found_misc = true;
+      EXPECT_EQ(result.tree.node(id).direct_items.size(), 4u);
+    }
+  }
+  EXPECT_TRUE(found_misc);
+}
+
+TEST(CtcrPerfectRecall, Figure2T1Optimal) {
+  // The optimal Perfect-Recall tree at delta 0.8 scores 4 (Example 2.1);
+  // CTCR's conflict graph has edges (q1,q4),(q3,q4) and the optimal IS is
+  // {q1,q2,q3}.
+  const OctInput input = Figure2Input();
+  const Similarity sim(Variant::kPerfectRecall, 0.8);
+  const CtcrResult result = BuildCategoryTree(input, sim);
+
+  EXPECT_EQ(result.independent_set, (std::vector<SetId>{0, 2, 1}))
+      << "IS sorted by rank: q1 (rank 1), q3 (rank 2), q2 (rank 3)";
+  ASSERT_TRUE(result.tree.ValidateModel(input).ok());
+  const TreeScore score = ScoreTree(input, result.tree, sim);
+  EXPECT_DOUBLE_EQ(score.total, 4.0);  // Matches the optimal T1.
+  EXPECT_TRUE(score.per_set[0].covered);
+  EXPECT_TRUE(score.per_set[1].covered);
+  EXPECT_TRUE(score.per_set[2].covered);
+  EXPECT_FALSE(score.per_set[3].covered);
+
+  // q2 and q3's categories hang off q1's (must-cover-together chains).
+  const NodeId c1 = score.per_set[0].best_node;
+  EXPECT_EQ(result.tree.node(score.per_set[1].best_node).parent, c1);
+  EXPECT_EQ(result.tree.node(score.per_set[2].best_node).parent, c1);
+}
+
+TEST(CtcrCutoffJaccard, Figure2T2Setting) {
+  // The optimum at delta 0.6 is T2 with score 4 + 5/12. The optimal
+  // structure needs categories to share items along one branch (T2's C1 is
+  // an ancestor of C3 and C4); CTCR's conflict analysis finds no
+  // must-cover-together pairs here and partitions instead, so it is not
+  // guaranteed the optimum on this toy input — but it must produce a valid
+  // tree covering at least the three heaviest-coverable sets.
+  const OctInput input = Figure2Input();
+  const Similarity sim(Variant::kJaccardCutoff, 0.6);
+  const CtcrResult result = BuildCategoryTree(input, sim);
+  ASSERT_TRUE(result.tree.ValidateModel(input).ok());
+  const TreeScore score = ScoreTree(input, result.tree, sim);
+  EXPECT_GE(score.num_covered, 3u);
+  EXPECT_GE(score.total, 3.2);
+  EXPECT_LE(score.total, 4.0 + 5.0 / 12.0 + 1e-9);
+}
+
+TEST(CtcrThresholdJaccard, Figure2NoConflictsAndHighCoverage) {
+  // At delta 0.6 no pair conflicts (every pair is separately coverable), so
+  // the MIS keeps all four sets; the greedy item partition covers at least
+  // weight 4 of the 5 achievable.
+  const OctInput input = Figure2Input();
+  const Similarity sim(Variant::kJaccardThreshold, 0.6);
+  const CtcrResult result = BuildCategoryTree(input, sim);
+  EXPECT_EQ(result.independent_set.size(), 4u);
+  EXPECT_TRUE(result.analysis.conflicts2.empty());
+  ASSERT_TRUE(result.tree.ValidateModel(input).ok());
+  const TreeScore score = ScoreTree(input, result.tree, sim);
+  EXPECT_GE(score.total, 4.0);
+  EXPECT_LE(score.total, 5.0);
+}
+
+TEST(CtcrExact, DuplicateSetsShareStructure) {
+  OctInput input(4);
+  input.Add(ItemSet({0, 1}), 1.0, "first");
+  input.Add(ItemSet({0, 1}), 2.0, "second");
+  const CtcrResult result =
+      BuildCategoryTree(input, Similarity(Variant::kExact, 1.0));
+  ASSERT_TRUE(result.tree.ValidateModel(input).ok());
+  const TreeScore score =
+      ScoreTree(input, result.tree, Similarity(Variant::kExact, 1.0));
+  EXPECT_DOUBLE_EQ(score.total, 3.0);  // Both covered by identical category.
+}
+
+TEST(CtcrExact, ChainOfContainments) {
+  // Nested sets form one branch: {0..5} ⊃ {0..3} ⊃ {0,1}.
+  OctInput input(6);
+  input.Add(ItemSet({0, 1, 2, 3, 4, 5}), 1.0, "outer");
+  input.Add(ItemSet({0, 1, 2, 3}), 1.0, "middle");
+  input.Add(ItemSet({0, 1}), 1.0, "inner");
+  const Similarity sim(Variant::kExact, 1.0);
+  const CtcrResult result = BuildCategoryTree(input, sim);
+  const TreeScore score = ScoreTree(input, result.tree, sim);
+  EXPECT_DOUBLE_EQ(score.total, 3.0);
+  const NodeId outer = score.per_set[0].best_node;
+  const NodeId middle = score.per_set[1].best_node;
+  const NodeId inner = score.per_set[2].best_node;
+  EXPECT_EQ(result.tree.node(middle).parent, outer);
+  EXPECT_EQ(result.tree.node(inner).parent, middle);
+}
+
+TEST(Ctcr, EmptyInputYieldsRootOnlyTree) {
+  OctInput input(5);
+  const CtcrResult result =
+      BuildCategoryTree(input, Similarity(Variant::kExact, 1.0));
+  EXPECT_TRUE(result.independent_set.empty());
+  // All items land in the misc category.
+  EXPECT_EQ(result.tree.NumCategories(), 2u);  // root + misc.
+}
+
+TEST(Ctcr, TimingsPopulated) {
+  const OctInput input = Figure2Input();
+  const CtcrResult result =
+      BuildCategoryTree(input, Similarity(Variant::kExact, 1.0));
+  EXPECT_GE(result.seconds_conflicts, 0.0);
+  EXPECT_GE(result.seconds_mis, 0.0);
+  EXPECT_GE(result.seconds_build, 0.0);
+}
+
+}  // namespace
+}  // namespace ctcr
+}  // namespace oct
+
+namespace oct {
+namespace ctcr {
+namespace {
+
+TEST(CtcrPerfectRecall, Figure5StyleHypergraphPath) {
+  // A Figure-5-flavoured instance at delta 0.61 with *only* 3-conflicts:
+  // q1={a,c,d,e,f}, q2={a,b}, q3={b,g,h}, q4={b,g}. The must-cover-together
+  // pairs are (q1,q2), (q2,q3), (q2,q4), (q3,q4); both {q1,q2,q3} and
+  // {q1,q2,q4} are 3-conflicts (q1 and q3/q4 can be covered either way).
+  // Dropping q2 (the lightest) resolves every hyperedge: score 7 of 8.
+  OctInput input(8);
+  input.Add(ItemSet({0, 2, 3, 4, 5}), 3.0, "q1");  // {a,c,d,e,f}
+  input.Add(ItemSet({0, 1}), 1.0, "q2");           // {a,b}
+  input.Add(ItemSet({1, 6, 7}), 2.0, "q3");        // {b,g,h}
+  input.Add(ItemSet({1, 6}), 2.0, "q4");           // {b,g}
+  const Similarity sim(Variant::kPerfectRecall, 0.61);
+  const CtcrResult result = BuildCategoryTree(input, sim);
+  EXPECT_TRUE(result.analysis.conflicts2.empty());
+  EXPECT_EQ(result.analysis.conflicts3.size(), 2u);
+  ASSERT_TRUE(result.tree.ValidateModel(input).ok());
+  const TreeScore score = ScoreTree(input, result.tree, sim);
+  EXPECT_DOUBLE_EQ(score.total, 7.0);
+  EXPECT_TRUE(score.per_set[0].covered);
+  EXPECT_FALSE(score.per_set[1].covered);  // The lightest set loses.
+  EXPECT_TRUE(score.per_set[2].covered);
+  EXPECT_TRUE(score.per_set[3].covered);
+  // q4's category hangs under q3's (must-cover-together chain).
+  const NodeId c3 = score.per_set[2].best_node;
+  const NodeId c4 = score.per_set[3].best_node;
+  EXPECT_EQ(result.tree.node(c4).parent, c3);
+}
+
+TEST(CtcrExact, ItemBoundsDissolveConflicts) {
+  // Two sets overlap in one item; with the default bound 1 they conflict
+  // under Exact (only one can be covered); with bound 2 on the shared item
+  // both get exact categories on separate branches.
+  OctInput strict(5);
+  strict.Add(ItemSet({0, 1, 2}), 1.0, "left");
+  strict.Add(ItemSet({2, 3, 4}), 1.0, "right");
+  const Similarity sim(Variant::kExact, 1.0);
+  const CtcrResult conflicted = BuildCategoryTree(strict, sim);
+  EXPECT_EQ(conflicted.analysis.conflicts2.size(), 1u);
+  EXPECT_DOUBLE_EQ(ScoreTree(strict, conflicted.tree, sim).total, 1.0);
+
+  OctInput relaxed = strict;
+  std::vector<uint32_t> bounds(5, 1);
+  bounds[2] = 2;
+  relaxed.set_item_bounds(bounds);
+  const CtcrResult resolved = BuildCategoryTree(relaxed, sim);
+  EXPECT_TRUE(resolved.analysis.conflicts2.empty());
+  ASSERT_TRUE(resolved.tree.ValidateModel(relaxed).ok());
+  EXPECT_DOUBLE_EQ(ScoreTree(relaxed, resolved.tree, sim).total, 2.0);
+}
+
+TEST(Ctcr, NonUniformThresholdsHonored) {
+  // The same overlapping pair conflicts at a strict per-set threshold but
+  // resolves when one set carries a lenient override.
+  OctInput input(9);
+  CandidateSet big;
+  big.items = ItemSet({0, 1, 2, 3, 4, 5});
+  big.weight = 2.0;
+  big.label = "big";
+  input.Add(big);
+  CandidateSet small;
+  small.items = ItemSet({4, 5, 6, 7, 8});
+  small.weight = 1.0;
+  small.label = "small";
+  small.delta_override = 0.5;  // Lenient: may shed 2 of its 5 items.
+  input.Add(small);
+  const Similarity sim(Variant::kJaccardThreshold, 0.95);
+  const CtcrResult result = BuildCategoryTree(input, sim);
+  EXPECT_TRUE(result.analysis.conflicts2.empty());
+  const TreeScore score = ScoreTree(input, result.tree, sim);
+  EXPECT_DOUBLE_EQ(score.total, 3.0);
+}
+
+}  // namespace
+}  // namespace ctcr
+}  // namespace oct

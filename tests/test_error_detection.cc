@@ -1,0 +1,119 @@
+// Tests for the taxonomist error-detection tooling (Section 5.4): the
+// "Nike Blazer" incoherence detector, uncovered-set listing, and uncovered
+// rare items.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ctcr/ctcr.h"
+#include "eval/error_detection.h"
+
+namespace oct {
+namespace eval {
+namespace {
+
+data::Catalog SmallCatalog() {
+  return data::Catalog::Generate(data::FashionSchema(), 600, 31);
+}
+
+/// A tree whose first category is attribute-pure and whose second has items
+/// of one type polluted with items of a very different type.
+CategoryTree PollutedTree(const data::Catalog& catalog, size_t pollution) {
+  CategoryTree tree;
+  const NodeId pure = tree.AddCategory(tree.root(), "pure");
+  const NodeId mixed = tree.AddCategory(tree.root(), "mixed");
+  size_t pure_count = 0, type0 = 0, other = 0;
+  for (ItemId item = 0; item < catalog.num_items(); ++item) {
+    const bool is_type0 = catalog.value(item, 0) == 0;
+    if (is_type0 && pure_count < 30) {
+      tree.AssignItem(pure, item);
+      ++pure_count;
+    } else if (is_type0 && type0 < 30) {
+      tree.AssignItem(mixed, item);
+      ++type0;
+    } else if (!is_type0 && other < pollution &&
+               catalog.value(item, 0) >= 4) {
+      tree.AssignItem(mixed, item);
+      ++other;
+    }
+  }
+  return tree;
+}
+
+TEST(IncoherenceDetector, FlagsPollutedCategoryFirst) {
+  const data::Catalog catalog = SmallCatalog();
+  const CategoryTree tree = PollutedTree(catalog, 12);
+  IncoherenceOptions options;
+  options.mean_distance_threshold = 0.0;  // Rank everything.
+  const auto flagged = DetectIncoherentCategories(catalog, tree, options);
+  ASSERT_GE(flagged.size(), 2u);
+  // The mixed category (node 2) is more incoherent than the pure one.
+  EXPECT_EQ(flagged[0].node, 2u);
+  EXPECT_GT(flagged[0].mean_distance, flagged[1].mean_distance);
+}
+
+TEST(IncoherenceDetector, ReportsOutlierItems) {
+  const data::Catalog catalog = SmallCatalog();
+  // One foreign item among 30 same-type items -> it is the outlier.
+  const CategoryTree tree = PollutedTree(catalog, 1);
+  IncoherenceOptions options;
+  options.mean_distance_threshold = 0.0;
+  options.outlier_factor = 1.2;
+  const auto flagged = DetectIncoherentCategories(catalog, tree, options);
+  ASSERT_FALSE(flagged.empty());
+  const auto& worst = flagged[0];
+  EXPECT_EQ(worst.node, 2u);
+  ASSERT_FALSE(worst.outliers.empty());
+  // The planted foreign-type item is among the flagged outliers.
+  const bool found_foreign =
+      std::any_of(worst.outliers.begin(), worst.outliers.end(),
+                  [&](ItemId item) { return catalog.value(item, 0) != 0; });
+  EXPECT_TRUE(found_foreign);
+}
+
+TEST(IncoherenceDetector, ThresholdSuppressesCoherentCategories) {
+  const data::Catalog catalog = SmallCatalog();
+  const CategoryTree tree = PollutedTree(catalog, 0);  // Both pure.
+  IncoherenceOptions options;
+  options.mean_distance_threshold = 2.0;  // Well above pure-category spread.
+  EXPECT_TRUE(DetectIncoherentCategories(catalog, tree, options).empty());
+}
+
+TEST(UncoveredSets, ListsExactlyTheUncovered) {
+  OctInput input(8);
+  input.Add(ItemSet({0, 1, 2, 3}), 5.0, "covered");
+  input.Add(ItemSet({2, 3, 4, 5, 6, 7}), 1.0, "conflicting");
+  const Similarity sim(Variant::kPerfectRecall, 0.9);
+  const ctcr::CtcrResult run = ctcr::BuildCategoryTree(input, sim);
+  const TreeScore score = ScoreTree(input, run.tree, sim);
+  const auto uncovered = UncoveredSets(score);
+  ASSERT_EQ(uncovered.size(), 1u);
+  EXPECT_EQ(uncovered[0], 1u);
+}
+
+TEST(UncoveredItems, FindsItemsOutsideCoveringCategories) {
+  OctInput input(8);
+  input.Add(ItemSet({0, 1, 2, 3}), 5.0, "covered");
+  input.Add(ItemSet({2, 3, 4, 5, 6, 7}), 1.0, "conflicting");
+  const Similarity sim(Variant::kPerfectRecall, 0.9);
+  const ctcr::CtcrResult run = ctcr::BuildCategoryTree(input, sim);
+  const TreeScore score = ScoreTree(input, run.tree, sim);
+  const ItemSet uncovered = UncoveredItems(input, run.tree, score);
+  // Items 4..7 appear only in the uncovered set.
+  EXPECT_EQ(uncovered, ItemSet({4, 5, 6, 7}));
+}
+
+TEST(UncoveredItems, EmptyWhenEverythingCovered) {
+  OctInput input(4);
+  input.Add(ItemSet({0, 1}), 1.0, "a");
+  input.Add(ItemSet({2, 3}), 1.0, "b");
+  const Similarity sim(Variant::kExact, 1.0);
+  const ctcr::CtcrResult run = ctcr::BuildCategoryTree(input, sim);
+  const TreeScore score = ScoreTree(input, run.tree, sim);
+  EXPECT_TRUE(UncoveredItems(input, run.tree, score).empty());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace oct

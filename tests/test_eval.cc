@@ -1,0 +1,113 @@
+// Tests for the evaluation layer: the algorithm harness, train/test
+// splitting, tf-idf cohesiveness, and the Table-1 contribution split.
+
+#include <gtest/gtest.h>
+
+#include "eval/cohesiveness.h"
+#include "eval/contribution.h"
+#include "eval/harness.h"
+#include "eval/train_test.h"
+
+namespace oct {
+namespace eval {
+namespace {
+
+const data::Dataset& SharedDataset() {
+  static const data::Dataset* ds = new data::Dataset(
+      data::MakeDataset('A', Similarity(Variant::kJaccardThreshold, 0.8),
+                        0.05));
+  return *ds;
+}
+
+TEST(Harness, NamesAndList) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kCtcr), "CTCR");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kEt), "ET");
+  EXPECT_EQ(AllAlgorithms().size(), 5u);
+}
+
+TEST(Harness, AllAlgorithmsProduceValidScoredTrees) {
+  const data::Dataset& ds = SharedDataset();
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  for (Algorithm algo : AllAlgorithms()) {
+    const AlgoRun run = RunAlgorithm(algo, ds, sim);
+    EXPECT_GE(run.score.normalized, 0.0) << AlgorithmName(algo);
+    EXPECT_LE(run.score.normalized, 1.0) << AlgorithmName(algo);
+    EXPECT_GT(run.num_categories, 0u) << AlgorithmName(algo);
+  }
+}
+
+TEST(Harness, CtcrOutperformsBaselines) {
+  // The paper's headline ranking on every dataset/variant: CTCR first.
+  const data::Dataset& ds = SharedDataset();
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const double ctcr =
+      RunAlgorithm(Algorithm::kCtcr, ds, sim).score.normalized;
+  for (Algorithm algo : {Algorithm::kCct, Algorithm::kIcQ, Algorithm::kIcS,
+                         Algorithm::kEt}) {
+    EXPECT_GE(ctcr, RunAlgorithm(algo, ds, sim).score.normalized)
+        << AlgorithmName(algo);
+  }
+  EXPECT_GE(ctcr, 0.5);  // Paper: "the score of CTCR never dropped below 0.5".
+}
+
+TEST(TrainTest, TestScoreBelowTrainButPositive) {
+  // Unmerged dataset: paraphrase queries provide the cross-split signal.
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  data::DatasetOptions options;
+  options.merge_similar = false;
+  const data::Dataset ds = data::MakeDataset('A', sim, 0.05, options);
+  const TrainTestResult r =
+      TrainTestEvaluate(Algorithm::kCtcr, ds, sim, /*splits=*/3, /*seed=*/1);
+  EXPECT_EQ(r.splits, 3u);
+  EXPECT_GT(r.mean_train_score, 0.0);
+  EXPECT_GT(r.mean_test_score, 0.0);
+  EXPECT_LE(r.mean_test_score, r.mean_train_score + 0.05);
+}
+
+TEST(Cohesiveness, AttributePureTreeBeatsRandomTree) {
+  const data::Dataset& ds = SharedDataset();
+  // ET's leaves are type/brand-pure: cohesive titles.
+  const CohesivenessResult et =
+      MeasureCohesiveness(*ds.catalog, ds.existing_tree);
+  EXPECT_GT(et.categories_evaluated, 0u);
+  EXPECT_GT(et.uniform_average, 0.0);
+  // A tree with one giant category mixing everything scores lower.
+  CategoryTree flat;
+  const NodeId all = flat.AddCategory(flat.root(), "everything");
+  for (ItemId item = 0; item < ds.catalog->num_items(); ++item) {
+    flat.AssignItem(all, item);
+  }
+  const CohesivenessResult mixed = MeasureCohesiveness(*ds.catalog, flat);
+  EXPECT_GT(et.uniform_average, mixed.uniform_average);
+}
+
+TEST(Cohesiveness, BoundedByOne) {
+  const data::Dataset& ds = SharedDataset();
+  const CohesivenessResult r =
+      MeasureCohesiveness(*ds.catalog, ds.existing_tree);
+  EXPECT_LE(r.uniform_average, 1.0);
+  EXPECT_LE(r.weighted_average, 1.0);
+  EXPECT_GE(r.weighted_average, 0.0);
+}
+
+TEST(Contribution, RatioInApproximatesRatioOut) {
+  // Table 1's finding: the query/existing weight split controls the score
+  // split. With 90% of the weight on queries, most of the score comes from
+  // queries; with 10%, most comes from existing categories.
+  const data::Dataset& ds = SharedDataset();
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const auto rows = ContributionSplit(ds, sim, {0.9, 0.5, 0.1});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GT(rows[0].score_from_queries, 0.5);
+  EXPECT_GT(rows[2].score_from_existing, 0.5);
+  // Monotone: more query weight -> more query score share.
+  EXPECT_GE(rows[0].score_from_queries, rows[1].score_from_queries);
+  EXPECT_GE(rows[1].score_from_queries, rows[2].score_from_queries);
+  for (const auto& row : rows) {
+    EXPECT_NEAR(row.score_from_queries + row.score_from_existing, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace oct

@@ -1,0 +1,128 @@
+// Tests for the conflict hypergraph and its independent-set solver.
+
+#include <gtest/gtest.h>
+
+#include "mis/hypergraph.h"
+#include "mis/hypergraph_solver.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace mis {
+namespace {
+
+/// Brute-force hypergraph MIS for small n.
+double BruteForce(const Hypergraph& hg) {
+  const size_t n = hg.num_vertices();
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<VertexId> set;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) set.push_back(v);
+    }
+    if (hg.IsIndependentSet(set)) best = std::max(best, hg.WeightOf(set));
+  }
+  return best;
+}
+
+Hypergraph RandomHypergraph(size_t n, size_t edges2, size_t edges3,
+                            uint64_t seed) {
+  Rng rng(seed);
+  Hypergraph hg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    hg.set_weight(v, 0.5 + rng.NextDouble() * 3.0);
+  }
+  for (size_t e = 0; e < edges2; ++e) {
+    const VertexId a = static_cast<VertexId>(rng.NextBelow(n));
+    VertexId b = static_cast<VertexId>(rng.NextBelow(n));
+    if (a == b) b = (b + 1) % n;
+    hg.AddEdge2(a, b);
+  }
+  for (size_t e = 0; e < edges3; ++e) {
+    const VertexId a = static_cast<VertexId>(rng.NextBelow(n));
+    VertexId b = (a + 1 + static_cast<VertexId>(rng.NextBelow(n - 1))) %
+                 static_cast<VertexId>(n);
+    VertexId c = static_cast<VertexId>(rng.NextBelow(n));
+    if (c == a || c == b) c = (std::max(a, b) + 1) % static_cast<VertexId>(n);
+    if (c == a || c == b) continue;
+    hg.AddEdge3(a, b, c);
+  }
+  hg.Finalize();
+  return hg;
+}
+
+TEST(Hypergraph, FinalizeDedupsAndIndexes) {
+  Hypergraph hg(4);
+  hg.AddEdge2(0, 1);
+  hg.AddEdge2(1, 0);
+  hg.AddEdge3(1, 2, 3);
+  hg.Finalize();
+  EXPECT_EQ(hg.num_edges(), 2u);
+  EXPECT_EQ(hg.Degree(1), 2u);
+  EXPECT_EQ(hg.Degree(0), 1u);
+}
+
+TEST(Hypergraph, SubsumedTriplesDropped) {
+  Hypergraph hg(3);
+  hg.AddEdge2(0, 1);
+  hg.AddEdge3(0, 1, 2);  // Subsumed by the 2-edge.
+  hg.Finalize();
+  EXPECT_EQ(hg.num_edges(), 1u);
+}
+
+TEST(Hypergraph, TripleIndependenceSemantics) {
+  Hypergraph hg(3);
+  hg.AddEdge3(0, 1, 2);
+  hg.Finalize();
+  // Any two of three are independent; all three are not.
+  EXPECT_TRUE(hg.IsIndependentSet({0, 1}));
+  EXPECT_TRUE(hg.IsIndependentSet({1, 2}));
+  EXPECT_FALSE(hg.IsIndependentSet({0, 1, 2}));
+}
+
+TEST(HypergraphSolver, ExactOnTriple) {
+  Hypergraph hg(3);
+  hg.set_weight(0, 3.0);
+  hg.set_weight(1, 2.0);
+  hg.set_weight(2, 1.0);
+  hg.AddEdge3(0, 1, 2);
+  hg.Finalize();
+  const MisSolution sol = SolveHypergraphMis(hg);
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_DOUBLE_EQ(sol.weight, 5.0);  // {0, 1}.
+}
+
+TEST(HypergraphSolver, EdgelessTakesAll) {
+  Hypergraph hg(4);
+  hg.Finalize();
+  const MisSolution sol = SolveHypergraphMis(hg);
+  EXPECT_EQ(sol.vertices.size(), 4u);
+  EXPECT_TRUE(sol.optimal);
+}
+
+class HypergraphSolverRandomTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HypergraphSolverRandomTest, ExactMatchesBruteForceOnSmallInstances) {
+  const Hypergraph hg = RandomHypergraph(12, 6, 6, GetParam());
+  const MisSolution sol = SolveHypergraphMis(hg);
+  EXPECT_TRUE(hg.IsIndependentSet(sol.vertices));
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_NEAR(sol.weight, BruteForce(hg), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypergraphSolverRandomTest,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48));
+
+TEST(HypergraphSolver, LargeInstanceHeuristicIsValidAndDecent) {
+  const Hypergraph hg = RandomHypergraph(400, 300, 300, 7);
+  const MisSolution sol = SolveHypergraphMis(hg);
+  EXPECT_TRUE(hg.IsIndependentSet(sol.vertices));
+  // Sparse instance: a large fraction of the weight is attainable.
+  double total = 0.0;
+  for (VertexId v = 0; v < hg.num_vertices(); ++v) total += hg.weight(v);
+  EXPECT_GT(sol.weight, 0.5 * total);
+}
+
+}  // namespace
+}  // namespace mis
+}  // namespace oct

@@ -1,0 +1,147 @@
+// Cross-module integration tests: full pipeline runs (dataset -> algorithm
+// -> score), serialization round-trips of algorithm outputs, compaction
+// invariance, tree-diff sanity against the ET baseline, and CCT property
+// sweeps over random inputs.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cct/cct.h"
+#include "core/scoring.h"
+#include "core/serialization.h"
+#include "core/tree_diff.h"
+#include "ctcr/ctcr.h"
+#include "ctcr/reemploy.h"
+#include "data/datasets.h"
+#include "eval/harness.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace {
+
+const data::Dataset& SmallDataset() {
+  static const data::Dataset* ds = new data::Dataset(data::MakeDataset(
+      'A', Similarity(Variant::kJaccardThreshold, 0.8), 0.05));
+  return *ds;
+}
+
+TEST(Integration, PipelineEndToEndProducesValidScoredTree) {
+  const data::Dataset& ds = SmallDataset();
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const ctcr::CtcrResult run = ctcr::BuildCategoryTree(ds.input, sim);
+  ASSERT_TRUE(run.tree.ValidateModel(ds.input).ok());
+  const TreeScore score = ScoreTree(ds.input, run.tree, sim);
+  EXPECT_GT(score.normalized, 0.5);  // Paper's floor for CTCR.
+  // Every item of the catalog is somewhere in the tree.
+  size_t placed = 0;
+  for (NodeId id = 0; id < run.tree.num_nodes(); ++id) {
+    if (run.tree.IsAlive(id)) placed += run.tree.node(id).direct_items.size();
+  }
+  EXPECT_EQ(placed, ds.catalog->num_items());
+}
+
+TEST(Integration, SerializedTreeScoresIdentically) {
+  const data::Dataset& ds = SmallDataset();
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const ctcr::CtcrResult run = ctcr::BuildCategoryTree(ds.input, sim);
+  auto parsed = ParseTree(SerializeTree(run.tree));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const double before = ScoreTree(ds.input, run.tree, sim).total;
+  const double after = ScoreTree(ds.input, *parsed, sim).total;
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(Integration, SerializedInputReproducesTree) {
+  const data::Dataset& ds = SmallDataset();
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  auto parsed = ParseInput(SerializeInput(ds.input));
+  ASSERT_TRUE(parsed.ok());
+  const ctcr::CtcrResult a = ctcr::BuildCategoryTree(ds.input, sim);
+  const ctcr::CtcrResult b = ctcr::BuildCategoryTree(*parsed, sim);
+  EXPECT_EQ(a.independent_set, b.independent_set);
+  EXPECT_DOUBLE_EQ(ScoreTree(ds.input, a.tree, sim).total,
+                   ScoreTree(*parsed, b.tree, sim).total);
+}
+
+TEST(Integration, CompactionPreservesScore) {
+  const data::Dataset& ds = SmallDataset();
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  ctcr::CtcrResult run = ctcr::BuildCategoryTree(ds.input, sim);
+  const double before = ScoreTree(ds.input, run.tree, sim).total;
+  run.tree.Compact();
+  ASSERT_TRUE(run.tree.ValidateModel(ds.input).ok());
+  EXPECT_DOUBLE_EQ(ScoreTree(ds.input, run.tree, sim).total, before);
+}
+
+TEST(Integration, TreeDiffDetectsCtcrVsExistingGap) {
+  // The query-driven tree differs substantially from the attribute-driven
+  // existing tree, but is identical to itself.
+  const data::Dataset& ds = SmallDataset();
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const ctcr::CtcrResult run = ctcr::BuildCategoryTree(ds.input, sim);
+  const TreeDiff self = CompareTrees(run.tree, run.tree);
+  EXPECT_DOUBLE_EQ(self.mean_category_overlap, 1.0);
+  EXPECT_EQ(self.items_moved, 0u);
+  const TreeDiff vs_existing = CompareTrees(ds.existing_tree, run.tree);
+  EXPECT_LT(vs_existing.mean_category_overlap, 0.9);
+}
+
+TEST(Integration, ReemployOnDatasetImprovesCoverage) {
+  const data::Dataset& ds = SmallDataset();
+  const Similarity sim(Variant::kPerfectRecall, 0.9);
+  ctcr::ReemployOptions options;
+  options.max_rounds = 3;
+  options.threshold_factor = 0.75;
+  const ctcr::ReemployResult result =
+      ctcr::ReemployWithReducedThresholds(ds.input, sim, options);
+  ASSERT_GE(result.rounds, 1u);
+  EXPECT_GE(result.covered_per_round.back(),
+            result.covered_per_round.front());
+  ASSERT_TRUE(result.final_run.tree.ValidateModel(ds.input).ok());
+}
+
+// CCT property sweep over random inputs (CTCR has its own in
+// test_ctcr_properties.cc).
+using VariantDelta = std::tuple<Variant, double>;
+
+class CctPropertyTest
+    : public ::testing::TestWithParam<std::tuple<VariantDelta, uint64_t>> {};
+
+TEST_P(CctPropertyTest, TreeValidAndScoreBounded) {
+  const auto [vd, seed] = GetParam();
+  const auto [variant, delta] = vd;
+  Rng rng(seed);
+  OctInput input(50);
+  for (size_t s = 0; s < 14; ++s) {
+    std::vector<ItemId> items;
+    const ItemId base = static_cast<ItemId>(rng.NextBelow(50));
+    const size_t size = 2 + rng.NextBelow(12);
+    for (size_t i = 0; i < size; ++i) {
+      items.push_back(static_cast<ItemId>((base + rng.NextBelow(20)) % 50));
+    }
+    ItemSet set(std::move(items));
+    if (set.empty()) continue;
+    input.Add(std::move(set), 0.5 + rng.NextDouble() * 3.0);
+  }
+  const Similarity sim(variant, delta);
+  const cct::CctResult result = cct::BuildCategoryTree(input, sim);
+  ASSERT_TRUE(result.tree.ValidateModel(input).ok())
+      << result.tree.ValidateModel(input).ToString();
+  const TreeScore score = ScoreTree(input, result.tree, sim);
+  EXPECT_GE(score.total, -1e-9);
+  EXPECT_LE(score.total, input.TotalWeight() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, CctPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(VariantDelta{Variant::kExact, 1.0},
+                          VariantDelta{Variant::kPerfectRecall, 0.7},
+                          VariantDelta{Variant::kJaccardThreshold, 0.7},
+                          VariantDelta{Variant::kJaccardCutoff, 0.6},
+                          VariantDelta{Variant::kF1Threshold, 0.8}),
+        ::testing::Values(2001, 2002, 2003)));
+
+}  // namespace
+}  // namespace oct

@@ -1,0 +1,144 @@
+// Unit and property tests for ItemSet set algebra.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/item_set.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace {
+
+TEST(ItemSet, ConstructionSortsAndDedups) {
+  ItemSet s({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.items(), (std::vector<ItemId>{1, 3, 5}));
+}
+
+TEST(ItemSet, EmptySet) {
+  ItemSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(ItemSet, Contains) {
+  ItemSet s({2, 4, 6});
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(3));
+}
+
+TEST(ItemSet, IntersectionSize) {
+  ItemSet a({1, 2, 3, 4});
+  ItemSet b({3, 4, 5});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+  EXPECT_EQ(a.IntersectionSize(ItemSet()), 0u);
+}
+
+TEST(ItemSet, UnionSize) {
+  ItemSet a({1, 2, 3});
+  ItemSet b({3, 4});
+  EXPECT_EQ(a.UnionSize(b), 4u);
+}
+
+TEST(ItemSet, SubsetAndDisjoint) {
+  ItemSet a({1, 2});
+  ItemSet b({1, 2, 3});
+  ItemSet c({4, 5});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsDisjointFrom(c));
+  EXPECT_FALSE(a.IsDisjointFrom(b));
+}
+
+TEST(ItemSet, BinaryOps) {
+  ItemSet a({1, 2, 3});
+  ItemSet b({2, 3, 4});
+  EXPECT_EQ(a.Intersect(b), ItemSet({2, 3}));
+  EXPECT_EQ(a.Union(b), ItemSet({1, 2, 3, 4}));
+  EXPECT_EQ(a.Difference(b), ItemSet({1}));
+  EXPECT_EQ(b.Difference(a), ItemSet({4}));
+}
+
+TEST(ItemSet, InsertEraseIdempotent) {
+  ItemSet s({1, 3});
+  s.Insert(2);
+  s.Insert(2);
+  EXPECT_EQ(s, ItemSet({1, 2, 3}));
+  s.Erase(2);
+  s.Erase(2);
+  EXPECT_EQ(s, ItemSet({1, 3}));
+}
+
+TEST(ItemSet, UnionInPlace) {
+  ItemSet s({1});
+  s.UnionInPlace(ItemSet({2, 3}));
+  EXPECT_EQ(s, ItemSet({1, 2, 3}));
+  s.UnionInPlace(ItemSet());
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ItemSet, UnionOfMany) {
+  ItemSet a({1}), b({2}), c({1, 3});
+  EXPECT_EQ(ItemSet::UnionOf({&a, &b, &c}), ItemSet({1, 2, 3}));
+}
+
+TEST(ItemSet, ToString) {
+  EXPECT_EQ(ItemSet({2, 1}).ToString(), "{1, 2}");
+  EXPECT_EQ(ItemSet().ToString(), "{}");
+}
+
+TEST(ItemSet, GallopingIntersectionMatchesLinear) {
+  // Skewed sizes trigger the galloping path.
+  std::vector<ItemId> big;
+  for (ItemId i = 0; i < 10000; i += 3) big.push_back(i);
+  ItemSet large = ItemSet::FromSorted(std::move(big));
+  ItemSet small({3, 9, 10, 9999, 9000});
+  size_t expected = 0;
+  for (ItemId i : small) {
+    if (large.Contains(i)) ++expected;
+  }
+  EXPECT_EQ(large.IntersectionSize(small), expected);
+  EXPECT_EQ(small.IntersectionSize(large), expected);
+}
+
+// Property sweep: merge-based ops agree with std::set reference.
+class ItemSetRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ItemSetRandomTest, OpsMatchReferenceImplementation) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::set<ItemId> ra, rb;
+    const size_t na = rng.NextBelow(40);
+    const size_t nb = rng.NextBelow(40);
+    for (size_t i = 0; i < na; ++i) ra.insert(static_cast<ItemId>(rng.NextBelow(60)));
+    for (size_t i = 0; i < nb; ++i) rb.insert(static_cast<ItemId>(rng.NextBelow(60)));
+    ItemSet a(std::vector<ItemId>(ra.begin(), ra.end()));
+    ItemSet b(std::vector<ItemId>(rb.begin(), rb.end()));
+
+    std::set<ItemId> ri, ru, rd;
+    std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                          std::inserter(ri, ri.begin()));
+    std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                   std::inserter(ru, ru.begin()));
+    std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::inserter(rd, rd.begin()));
+    EXPECT_EQ(a.IntersectionSize(b), ri.size());
+    EXPECT_EQ(a.UnionSize(b), ru.size());
+    EXPECT_EQ(a.Intersect(b).size(), ri.size());
+    EXPECT_EQ(a.Union(b).size(), ru.size());
+    EXPECT_EQ(a.Difference(b).size(), rd.size());
+    EXPECT_EQ(a.Intersects(b), !ri.empty());
+    EXPECT_EQ(a.IsSubsetOf(b), ri.size() == ra.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItemSetRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace oct

@@ -1,0 +1,134 @@
+// Tests for the branch-and-reduce kernelizer: each reduction individually,
+// exactness of kernel + decode against brute force, and fold accounting.
+
+#include <gtest/gtest.h>
+
+#include "mis/kernelizer.h"
+#include "mis/exact_solver.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace mis {
+namespace {
+
+double BruteForceMis(const Graph& g) {
+  const size_t n = g.num_vertices();
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<VertexId> set;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) set.push_back(v);
+    }
+    if (g.IsIndependentSet(set)) best = std::max(best, g.WeightOf(set));
+  }
+  return best;
+}
+
+Graph RandomGraph(size_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    g.set_weight(u, 0.5 + rng.NextDouble() * 4.0);
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextDouble() < p) g.AddEdge(u, v);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+TEST(Kernelizer, IsolatedVerticesTaken) {
+  Graph g(3);
+  g.Finalize();
+  const Kernelizer k(g);
+  EXPECT_EQ(k.kernel().num_vertices(), 0u);
+  EXPECT_DOUBLE_EQ(k.offset(), 3.0);
+  const MisSolution sol = k.Decode(MisSolution{});
+  EXPECT_EQ(sol.vertices.size(), 3u);
+}
+
+TEST(Kernelizer, DegreeOneFold) {
+  // Pendant v(w=1) attached to u(w=3) attached to x(w=3): fold v into u,
+  // then u'(w=2) vs x(w=3)... final optimum = v + x = 4.
+  Graph g(3);
+  g.set_weight(0, 1.0);  // v
+  g.set_weight(1, 3.0);  // u
+  g.set_weight(2, 3.0);  // x
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Finalize();
+  const Kernelizer k(g);
+  EXPECT_EQ(k.kernel().num_vertices(), 0u);  // Fully reduced.
+  const MisSolution sol = k.Decode(MisSolution{});
+  EXPECT_DOUBLE_EQ(sol.weight, 4.0);
+  EXPECT_DOUBLE_EQ(sol.weight, BruteForceMis(g));
+  EXPECT_TRUE(g.IsIndependentSet(sol.vertices));
+  EXPECT_GE(k.num_folded() + k.num_taken(), 1u);
+}
+
+TEST(Kernelizer, FoldDecodesToPendantWhenPartnerExcluded) {
+  // Triangle u-x-y plus pendant v on u, with x,y heavy: optimal takes v
+  // plus the heavier of x,y.
+  Graph g(4);
+  g.set_weight(0, 1.0);   // v (pendant on u)
+  g.set_weight(1, 1.5);   // u
+  g.set_weight(2, 5.0);   // x
+  g.set_weight(3, 4.0);   // y
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.Finalize();
+  const Kernelizer k(g);
+  MisSolution kernel_sol = SolveExact(k.kernel());
+  const MisSolution sol = k.Decode(kernel_sol);
+  EXPECT_DOUBLE_EQ(sol.weight, BruteForceMis(g));  // = 6 (v + x).
+  EXPECT_TRUE(g.IsIndependentSet(sol.vertices));
+}
+
+TEST(Kernelizer, DominationRemovesDominatedVertex) {
+  // v adjacent to u; N[u] ⊆ N[v]; w(u) >= w(v) -> v removable.
+  // u-v edge, v also adjacent to x; u only adjacent to v.
+  Graph g(3);
+  g.set_weight(0, 2.0);  // u
+  g.set_weight(1, 1.0);  // v (dominated by u)
+  g.set_weight(2, 2.0);  // x
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Finalize();
+  const Kernelizer k(g);
+  const MisSolution sol = k.Decode(SolveExact(k.kernel()));
+  EXPECT_DOUBLE_EQ(sol.weight, 4.0);  // {u, x}.
+  EXPECT_DOUBLE_EQ(sol.weight, BruteForceMis(g));
+}
+
+class KernelizerRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelizerRandomTest, KernelPlusDecodeIsExact) {
+  for (double p : {0.1, 0.25, 0.45}) {
+    const Graph g = RandomGraph(14, p, GetParam() * 100 +
+                                           static_cast<uint64_t>(p * 100));
+    const Kernelizer k(g);
+    const MisSolution kernel_sol = SolveExact(k.kernel());
+    ASSERT_TRUE(kernel_sol.optimal);
+    const MisSolution sol = k.Decode(kernel_sol);
+    EXPECT_TRUE(g.IsIndependentSet(sol.vertices));
+    EXPECT_NEAR(sol.weight, BruteForceMis(g), 1e-9)
+        << "p=" << p << " seed=" << GetParam();
+    // Decoded weight equals offset + kernel weight.
+    EXPECT_NEAR(sol.weight, k.offset() + kernel_sol.weight, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelizerRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Kernelizer, SparseGraphShrinksDramatically) {
+  const Graph g = RandomGraph(500, 0.004, 77);
+  const Kernelizer k(g);
+  EXPECT_LT(k.kernel().num_vertices(), g.num_vertices() / 2);
+}
+
+}  // namespace
+}  // namespace mis
+}  // namespace oct

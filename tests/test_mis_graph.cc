@@ -1,0 +1,81 @@
+// Tests for the MIS graph data structure.
+
+#include <gtest/gtest.h>
+
+#include "mis/graph.h"
+
+namespace oct {
+namespace mis {
+namespace {
+
+TEST(Graph, AddEdgeAndFinalize) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // Duplicate.
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 1);  // Self loop ignored.
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(Graph, WeightsDefaultToOne) {
+  Graph g(3);
+  g.Finalize();
+  EXPECT_DOUBLE_EQ(g.weight(0), 1.0);
+  g.set_weight(0, 2.5);
+  EXPECT_DOUBLE_EQ(g.WeightOf({0, 1}), 3.5);
+}
+
+TEST(Graph, IsIndependentSet) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.Finalize();
+  EXPECT_TRUE(g.IsIndependentSet({0, 2}));
+  EXPECT_TRUE(g.IsIndependentSet({}));
+  EXPECT_FALSE(g.IsIndependentSet({0, 1}));
+  EXPECT_FALSE(g.IsIndependentSet({0, 0}));  // Duplicates rejected.
+}
+
+TEST(Graph, ConnectedComponents) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.Finalize();
+  const auto comps = g.ConnectedComponents();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(comps[1], (std::vector<VertexId>{3, 4}));
+}
+
+TEST(Graph, IsolatedVerticesAreSingletonComponents) {
+  Graph g(3);
+  g.Finalize();
+  EXPECT_EQ(g.ConnectedComponents().size(), 3u);
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g(5);
+  g.set_weight(1, 7.0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.Finalize();
+  std::vector<VertexId> origin;
+  const Graph sub = g.InducedSubgraph({0, 1, 2}, &origin);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(sub.weight(1), 7.0);
+  EXPECT_EQ(origin, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_FALSE(sub.HasEdge(0, 2));
+}
+
+}  // namespace
+}  // namespace mis
+}  // namespace oct

@@ -1,0 +1,209 @@
+// Tests for the weighted-MIS solver suite: greedy, local search, the
+// kernelization reductions, the exact branch-and-reduce solver (validated
+// against brute force on random graphs), and the facade.
+
+#include <gtest/gtest.h>
+
+#include "mis/exact_solver.h"
+#include "mis/greedy.h"
+#include "mis/local_search.h"
+#include "mis/reductions.h"
+#include "mis/solver.h"
+#include "util/rng.h"
+
+namespace oct {
+namespace mis {
+namespace {
+
+Graph RandomGraph(size_t n, double edge_prob, uint64_t seed,
+                  bool random_weights = true) {
+  Rng rng(seed);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    if (random_weights) g.set_weight(u, 0.5 + rng.NextDouble() * 4.0);
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextDouble() < edge_prob) g.AddEdge(u, v);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+/// Brute-force optimum for small n.
+double BruteForceMis(const Graph& g) {
+  const size_t n = g.num_vertices();
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<VertexId> set;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) set.push_back(v);
+    }
+    if (g.IsIndependentSet(set)) best = std::max(best, g.WeightOf(set));
+  }
+  return best;
+}
+
+TEST(Greedy, ReturnsValidIndependentSet) {
+  const Graph g = RandomGraph(50, 0.2, 1);
+  const MisSolution sol = SolveGreedy(g);
+  EXPECT_TRUE(g.IsIndependentSet(sol.vertices));
+  EXPECT_GT(sol.weight, 0.0);
+  EXPECT_NEAR(sol.weight, g.WeightOf(sol.vertices), 1e-9);
+}
+
+TEST(Greedy, TriangleTakesHeaviest) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.set_weight(1, 5.0);
+  g.Finalize();
+  const MisSolution sol = SolveGreedy(g);
+  EXPECT_EQ(sol.vertices, (std::vector<VertexId>{1}));
+}
+
+TEST(LocalSearch, NeverWorsens) {
+  const Graph g = RandomGraph(60, 0.15, 2);
+  const MisSolution greedy = SolveGreedy(g);
+  const MisSolution improved = LocalSearchImprove(g, greedy);
+  EXPECT_GE(improved.weight, greedy.weight - 1e-9);
+  EXPECT_TRUE(g.IsIndependentSet(improved.vertices));
+}
+
+TEST(LocalSearch, FixesBadStart) {
+  // Path 0-1-2: starting from {1} (weight 1), the swap pass should reach
+  // {0, 2} (weight 2).
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Finalize();
+  MisSolution start;
+  start.vertices = {1};
+  start.weight = 1.0;
+  const MisSolution improved = LocalSearchImprove(g, start);
+  EXPECT_DOUBLE_EQ(improved.weight, 2.0);
+}
+
+TEST(Reductions, TakesIsolatedVertices) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.Finalize();
+  const ReductionResult r = ReduceNeighborhoodRemoval(g);
+  // Vertex 2 is isolated; with unit weights vertex 0 (or 1) is also taken
+  // by neighborhood removal, emptying the kernel.
+  EXPECT_TRUE(r.kernel.empty());
+  EXPECT_DOUBLE_EQ(r.forced_weight, 2.0);
+}
+
+TEST(Reductions, HeavyVertexDominatesNeighborhood) {
+  // Star: center weight 10 vs 3 unit leaves -> take the center.
+  Graph g(4);
+  g.set_weight(0, 10.0);
+  for (VertexId v = 1; v < 4; ++v) g.AddEdge(0, v);
+  g.Finalize();
+  const ReductionResult r = ReduceNeighborhoodRemoval(g);
+  EXPECT_EQ(r.forced, (std::vector<VertexId>{0}));
+  EXPECT_TRUE(r.kernel.empty());
+}
+
+TEST(Reductions, KernelIsExactnessPreserving) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = RandomGraph(14, 0.3, 100 + seed);
+    const double opt = BruteForceMis(g);
+    const ReductionResult r = ReduceNeighborhoodRemoval(g);
+    double kernel_opt = 0.0;
+    if (!r.kernel.empty()) {
+      std::vector<VertexId> origin;
+      const Graph sub = g.InducedSubgraph(r.kernel, &origin);
+      kernel_opt = BruteForceMis(sub);
+    }
+    EXPECT_NEAR(r.forced_weight + kernel_opt, opt, 1e-9) << "seed " << seed;
+  }
+}
+
+class ExactSolverRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactSolverRandomTest, MatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  const Graph g = RandomGraph(15, 0.25, seed);
+  const double opt = BruteForceMis(g);
+  const MisSolution sol = SolveExact(g);
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_TRUE(g.IsIndependentSet(sol.vertices));
+  EXPECT_NEAR(sol.weight, opt, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSolverRandomTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
+                                           20, 21, 22));
+
+class ExactUnweightedTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExactUnweightedTest, MatchesBruteForceAcrossDensities) {
+  const Graph g = RandomGraph(14, GetParam(), 999, /*random_weights=*/false);
+  EXPECT_NEAR(SolveExact(g).weight, BruteForceMis(g), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ExactUnweightedTest,
+                         ::testing::Values(0.05, 0.15, 0.3, 0.5, 0.8));
+
+TEST(ExactSolver, EmptyGraph) {
+  Graph g(0);
+  g.Finalize();
+  const MisSolution sol = SolveExact(g);
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_DOUBLE_EQ(sol.weight, 0.0);
+}
+
+TEST(ExactSolver, EdgelessGraphTakesAll) {
+  Graph g(5);
+  g.Finalize();
+  const MisSolution sol = SolveExact(g);
+  EXPECT_EQ(sol.vertices.size(), 5u);
+  EXPECT_TRUE(sol.optimal);
+}
+
+TEST(ExactSolver, BudgetExhaustionStillValid) {
+  const Graph g = RandomGraph(40, 0.5, 77);
+  ExactOptions opts;
+  opts.max_nodes = 5;  // Starve it.
+  const MisSolution sol = SolveExact(g, opts);
+  EXPECT_TRUE(g.IsIndependentSet(sol.vertices));
+  EXPECT_GT(sol.weight, 0.0);  // Incumbent from greedy + LS.
+}
+
+TEST(SolverFacade, SolvesComponentsIndependently) {
+  // Two triangles + isolated vertex.
+  Graph g(7);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(3, 5);
+  g.set_weight(6, 0.5);
+  g.Finalize();
+  const MisSolution sol = SolveMis(g);
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_DOUBLE_EQ(sol.weight, 2.5);  // One per triangle + the isolate.
+}
+
+TEST(SolverFacade, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 30; seed < 38; ++seed) {
+    const Graph g = RandomGraph(16, 0.2, seed);
+    const MisSolution sol = SolveMis(g);
+    EXPECT_TRUE(sol.optimal);
+    EXPECT_NEAR(sol.weight, BruteForceMis(g), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(SolverFacade, LargeSparseGraphRunsAndIsValid) {
+  const Graph g = RandomGraph(2000, 0.001, 5);
+  const MisSolution sol = SolveMis(g);
+  EXPECT_TRUE(g.IsIndependentSet(sol.vertices));
+  EXPECT_GT(sol.vertices.size(), 1000u);  // Sparse: most vertices survive.
+}
+
+}  // namespace
+}  // namespace mis
+}  // namespace oct

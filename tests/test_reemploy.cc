@@ -1,0 +1,105 @@
+// Tests for the reemployment workflow (threshold reduction for uncovered
+// sets, Section 5.4).
+
+#include <gtest/gtest.h>
+
+#include "core/scoring.h"
+#include "ctcr/reemploy.h"
+#include "paper_inputs.h"
+
+namespace oct {
+namespace ctcr {
+namespace {
+
+using testing_inputs::Figure2Input;
+
+TEST(Reemploy, CoversLeftoverSetAfterThresholdReduction) {
+  // Perfect-Recall 0.8 on the Figure 2 input leaves q4 uncovered (its
+  // cover's precision would be 6/9). Reducing q4's threshold below 2/3
+  // makes it coverable under the root-like category.
+  const OctInput input = Figure2Input();
+  const Similarity sim(Variant::kPerfectRecall, 0.8);
+  ReemployOptions options;
+  options.threshold_factor = 0.7;
+  options.min_delta = 0.2;
+  options.max_rounds = 4;
+  const ReemployResult result =
+      ReemployWithReducedThresholds(input, sim, options);
+  ASSERT_GE(result.rounds, 2u);
+  // Round 1 covers 3 of 4 (the optimal T1); later rounds pick up q4.
+  EXPECT_EQ(result.covered_per_round.front(), 3u);
+  EXPECT_EQ(result.covered_per_round.back(), 4u);
+  // The adjusted input records the reduced threshold for q4 only.
+  EXPECT_LT(result.adjusted_input.set(3).delta_override, 0.8);
+  EXPECT_LT(result.adjusted_input.set(0).delta_override, 0.0);  // Untouched.
+  ASSERT_TRUE(result.final_run.tree.ValidateModel(input).ok());
+}
+
+TEST(Reemploy, ScoreNeverDecreasesAcrossRounds) {
+  const OctInput input = Figure2Input();
+  const Similarity sim(Variant::kJaccardThreshold, 0.9);
+  ReemployOptions options;
+  options.max_rounds = 4;
+  const ReemployResult result =
+      ReemployWithReducedThresholds(input, sim, options);
+  for (size_t r = 1; r < result.score_per_round.size(); ++r) {
+    EXPECT_GE(result.score_per_round[r],
+              result.score_per_round[r - 1] - 1e-9);
+  }
+}
+
+TEST(Reemploy, StopsImmediatelyWhenEverythingCovered) {
+  OctInput input(6);
+  input.Add(ItemSet({0, 1, 2}), 1.0, "a");
+  input.Add(ItemSet({3, 4, 5}), 1.0, "b");
+  const ReemployResult result = ReemployWithReducedThresholds(
+      input, Similarity(Variant::kJaccardThreshold, 0.8));
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.covered_per_round, (std::vector<size_t>{2}));
+}
+
+TEST(Reemploy, RespectsMinDelta) {
+  // A set that can never be covered (its items are demanded by a much
+  // heavier conflicting set); thresholds must bottom out at min_delta and
+  // the loop must terminate.
+  OctInput input(8);
+  input.Add(ItemSet({0, 1, 2, 3, 4}), 100.0, "heavy");
+  input.Add(ItemSet({2, 3, 4, 5, 6, 7}), 0.1, "loser");
+  const Similarity sim(Variant::kPerfectRecall, 0.95);
+  ReemployOptions options;
+  options.threshold_factor = 0.5;
+  options.min_delta = 0.4;
+  options.max_rounds = 6;
+  const ReemployResult result =
+      ReemployWithReducedThresholds(input, sim, options);
+  EXPECT_LE(result.rounds, 6u);
+  for (SetId q = 0; q < input.num_sets(); ++q) {
+    const double d = result.adjusted_input.set(q).delta_override;
+    if (d >= 0.0) EXPECT_GE(d, options.min_delta - 1e-12);
+  }
+}
+
+TEST(Reemploy, WeightBoostRaisesPriority) {
+  // Two mutually conflicting sets; the initially lighter one gets boosted
+  // every round until the MIS flips to prefer it... unless the boost is 1,
+  // in which case the outcome is stable.
+  OctInput input(6);
+  input.Add(ItemSet({0, 1, 2, 3}), 2.0, "initial-winner");
+  input.Add(ItemSet({2, 3, 4, 5}), 1.8, "boosted");
+  const Similarity sim(Variant::kExact, 1.0);
+  ReemployOptions boost;
+  boost.weight_boost = 3.0;
+  boost.max_rounds = 2;
+  boost.threshold_factor = 1.0;  // Exact: thresholds immutable anyway.
+  const ReemployResult boosted =
+      ReemployWithReducedThresholds(input, sim, boost);
+  const TreeScore final_score =
+      ScoreTree(input, boosted.final_run.tree, sim);
+  // After boosting, the "boosted" set wins the conflict.
+  EXPECT_TRUE(final_score.per_set[1].covered);
+  EXPECT_FALSE(final_score.per_set[0].covered);
+}
+
+}  // namespace
+}  // namespace ctcr
+}  // namespace oct

@@ -1,0 +1,123 @@
+// Round-trip and error-handling tests for input/tree serialization.
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "paper_inputs.h"
+
+namespace oct {
+namespace {
+
+using testing_inputs::Figure2Input;
+
+TEST(LabelEscaping, RoundTripsSpecials) {
+  for (const std::string label :
+       {std::string("black shirt"), std::string("100% cotton"),
+        std::string("a\nb"), std::string(""), std::string("-"),
+        std::string("naïve")}) {
+    EXPECT_EQ(UnescapeLabel(EscapeLabel(label)), label) << label;
+  }
+}
+
+TEST(LabelEscaping, EscapedFormHasNoSpaces) {
+  const std::string esc = EscapeLabel("long sleeve shirt");
+  EXPECT_EQ(esc.find(' '), std::string::npos);
+}
+
+TEST(InputSerialization, RoundTrip) {
+  OctInput input = Figure2Input();
+  input.mutable_set(1).delta_override = 0.75;
+  const std::string text = SerializeInput(input);
+  auto parsed = ParseInput(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->universe_size(), input.universe_size());
+  ASSERT_EQ(parsed->num_sets(), input.num_sets());
+  for (SetId q = 0; q < input.num_sets(); ++q) {
+    EXPECT_EQ(parsed->set(q).items, input.set(q).items);
+    EXPECT_DOUBLE_EQ(parsed->set(q).weight, input.set(q).weight);
+    EXPECT_DOUBLE_EQ(parsed->set(q).delta_override,
+                     input.set(q).delta_override);
+    EXPECT_EQ(parsed->set(q).label, input.set(q).label);
+  }
+}
+
+TEST(InputSerialization, RoundTripWithBounds) {
+  OctInput input(3);
+  input.Add(ItemSet({0, 1}), 1.0, "x");
+  input.set_item_bounds({1, 2, 3});
+  auto parsed = ParseInput(SerializeInput(input));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->item_bounds(), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(InputSerialization, RejectsGarbage) {
+  EXPECT_FALSE(ParseInput("").ok());
+  EXPECT_FALSE(ParseInput("wrong header\n").ok());
+  EXPECT_FALSE(ParseInput("octree-input v1\nbogus line\n").ok());
+  EXPECT_FALSE(
+      ParseInput("octree-input v1\nuniverse 2\nset x - - : 0\n").ok());
+  // Item outside the declared universe fails validation.
+  EXPECT_FALSE(
+      ParseInput("octree-input v1\nuniverse 2\nset 1 - q : 5\n").ok());
+}
+
+TEST(TreeSerialization, RoundTripPreservingStructure) {
+  CategoryTree tree;
+  const NodeId a = tree.AddCategory(tree.root(), "shirts", 0);
+  const NodeId b = tree.AddCategory(a, "nike shirts", 1);
+  const NodeId c = tree.AddCategory(tree.root(), "misc");
+  tree.AssignItem(a, 3);
+  tree.AssignItem(b, 1);
+  tree.AssignItem(b, 2);
+  tree.AssignItem(c, 9);
+  const std::string text = SerializeTree(tree);
+  auto parsed = ParseTree(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->NumCategories(), tree.NumCategories());
+  // Pre-order compaction: ids are 0=root,1=a,2=b,3=c.
+  EXPECT_EQ(parsed->node(1).label, "shirts");
+  EXPECT_EQ(parsed->node(1).source_set, 0u);
+  EXPECT_EQ(parsed->node(2).parent, 1u);
+  EXPECT_EQ(parsed->node(2).direct_items, ItemSet({1, 2}));
+  EXPECT_EQ(parsed->node(3).label, "misc");
+  EXPECT_TRUE(parsed->ValidateStructure().ok());
+  // Serialization is stable.
+  EXPECT_EQ(SerializeTree(*parsed), text);
+}
+
+TEST(TreeSerialization, CompactsTombstones) {
+  CategoryTree tree;
+  const NodeId a = tree.AddCategory(tree.root(), "a");
+  const NodeId b = tree.AddCategory(a, "b");
+  tree.AssignItem(b, 1);
+  tree.RemoveNodeKeepChildren(a);
+  auto parsed = ParseTree(SerializeTree(tree));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->NumCategories(), 2u);  // root + b.
+}
+
+TEST(TreeSerialization, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseTree("").ok());
+  EXPECT_FALSE(ParseTree("octree-tree v1\nnodes 0\n").ok());
+  // Child before parent.
+  EXPECT_FALSE(ParseTree("octree-tree v1\nnodes 2\n"
+                         "node 0 - - root :\n"
+                         "node 1 2 - x :\n")
+                   .ok());
+  // Count mismatch.
+  EXPECT_FALSE(ParseTree("octree-tree v1\nnodes 2\n"
+                         "node 0 - - root :\n")
+                   .ok());
+}
+
+TEST(FileIo, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/octree_io_test.txt";
+  ASSERT_TRUE(WriteFile(path, "hello\nworld\n").ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello\nworld\n");
+  EXPECT_FALSE(ReadFile(path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace oct

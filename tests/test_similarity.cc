@@ -1,0 +1,140 @@
+// Tests for the six similarity variants of Section 2.2, including the
+// figure-level values worked out in the paper (Figure 2).
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+
+namespace oct {
+namespace {
+
+TEST(RawSimilarities, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(JaccardFromSizes(4, 4, 4), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardFromSizes(4, 4, 2), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(JaccardFromSizes(3, 5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardFromSizes(0, 0, 0), 1.0);
+}
+
+TEST(RawSimilarities, PrecisionRecall) {
+  EXPECT_DOUBLE_EQ(PrecisionFromSizes(6, 5), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(PrecisionFromSizes(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RecallFromSizes(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallFromSizes(5, 2), 0.4);
+  EXPECT_DOUBLE_EQ(RecallFromSizes(0, 0), 1.0);
+}
+
+TEST(RawSimilarities, F1IsHarmonicMean) {
+  // |q|=4, |C|=6, inter=3: p=0.5, r=0.75, F1 = 2*0.5*0.75/1.25 = 0.6.
+  EXPECT_DOUBLE_EQ(F1FromSizes(4, 6, 3), 0.6);
+  EXPECT_DOUBLE_EQ(F1FromSizes(4, 4, 4), 1.0);
+}
+
+TEST(Similarity, CutoffJaccardBelowThresholdIsZero) {
+  Similarity sim(Variant::kJaccardCutoff, 0.6);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 2), 0.0);  // J = 1/3 < 0.6.
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 3), 0.6);  // J = 3/5 = 0.6.
+}
+
+TEST(Similarity, ThresholdJaccardIsBinary) {
+  Similarity sim(Variant::kJaccardThreshold, 0.6);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 3), 1.0);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 2), 0.0);
+}
+
+TEST(Similarity, PerfectRecallRequiresFullRecall) {
+  Similarity sim(Variant::kPerfectRecall, 0.8);
+  // Figure 2 / Example 2.1: |q1|=5, |C1|=6, inter=5: recall 1,
+  // precision 5/6 > 0.8 -> covered.
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(5, 6, 5), 1.0);
+  // Missing one item of q: recall < 1 -> 0 regardless of precision.
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(5, 4, 4), 0.0);
+  // Recall 1 but precision 5/7 < 0.8 -> 0.
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(5, 7, 5), 0.0);
+}
+
+TEST(Similarity, ExactRequiresIdentity) {
+  Similarity sim(Variant::kExact, 1.0);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 4), 1.0);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 5, 4), 0.0);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 3), 0.0);
+}
+
+TEST(Similarity, Figure2CutoffJaccardScores) {
+  // T2 of Figure 2: C4 covers q3 with 3/4, C2 covers q4 with 2/3 at 0.6/0.65.
+  Similarity sim(Variant::kJaccardCutoff, 0.6);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 3, 3), 0.75);   // q3 vs C4={c,d,e}.
+  EXPECT_NEAR(sim.ScoreFromSizes(6, 4, 4), 2.0 / 3.0, 1e-12);  // q4 vs C2.
+}
+
+TEST(Similarity, PerSetDeltaOverride) {
+  Similarity sim(Variant::kJaccardThreshold, 0.9);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 3, /*delta_override=*/0.5), 1.0);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 3), 0.0);
+}
+
+TEST(Similarity, ScoreOnSets) {
+  Similarity sim(Variant::kJaccardCutoff, 0.5);
+  ItemSet q({1, 2, 3, 4});
+  ItemSet c({2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(sim.Score(q, c), 0.6);
+  EXPECT_TRUE(sim.Covers(q, c));
+  EXPECT_FALSE(sim.Covers(q, ItemSet({9})));
+}
+
+TEST(Similarity, CutoffCounterpart) {
+  Similarity t(Variant::kJaccardThreshold, 0.7);
+  EXPECT_EQ(t.CutoffCounterpart().variant(), Variant::kJaccardCutoff);
+  EXPECT_DOUBLE_EQ(t.CutoffCounterpart().delta(), 0.7);
+  Similarity f(Variant::kF1Threshold, 0.7);
+  EXPECT_EQ(f.CutoffCounterpart().variant(), Variant::kF1Cutoff);
+  Similarity pr(Variant::kPerfectRecall, 0.7);
+  EXPECT_EQ(pr.CutoffCounterpart().variant(), Variant::kPerfectRecall);
+}
+
+TEST(Similarity, VariantNamesAndBinaryFlags) {
+  EXPECT_STREQ(VariantName(Variant::kExact), "Exact");
+  EXPECT_TRUE(IsBinaryVariant(Variant::kJaccardThreshold));
+  EXPECT_TRUE(IsBinaryVariant(Variant::kPerfectRecall));
+  EXPECT_FALSE(IsBinaryVariant(Variant::kJaccardCutoff));
+  EXPECT_FALSE(IsBinaryVariant(Variant::kF1Cutoff));
+}
+
+// At delta == 1 every binary variant coincides with Exact on identical /
+// non-identical pairs (the "Exact variant convergence" of Section 2.2).
+class DeltaOneTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(DeltaOneTest, DeltaOneConvergesToExact) {
+  Similarity sim(GetParam(), 1.0);
+  EXPECT_DOUBLE_EQ(sim.ScoreFromSizes(4, 4, 4), 1.0);
+  EXPECT_EQ(sim.ScoreFromSizes(4, 5, 4) > 0.0, false);
+  EXPECT_EQ(sim.ScoreFromSizes(5, 4, 4) > 0.0, false);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBinary, DeltaOneTest,
+                         ::testing::Values(Variant::kJaccardThreshold,
+                                           Variant::kF1Threshold,
+                                           Variant::kPerfectRecall,
+                                           Variant::kExact));
+
+// Threshold variants are monotone in the intersection size.
+class MonotoneTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(MonotoneTest, ScoreMonotoneInIntersection) {
+  Similarity sim(GetParam(), GetParam() == Variant::kExact ? 1.0 : 0.6);
+  double prev = -1.0;
+  for (size_t inter = 0; inter <= 10; ++inter) {
+    const double s = sim.ScoreFromSizes(10, 10, inter);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, MonotoneTest,
+                         ::testing::Values(Variant::kJaccardCutoff,
+                                           Variant::kJaccardThreshold,
+                                           Variant::kF1Cutoff,
+                                           Variant::kF1Threshold,
+                                           Variant::kExact));
+
+}  // namespace
+}  // namespace oct

@@ -1,0 +1,86 @@
+// Tests for the conservative-update tree diff.
+
+#include <gtest/gtest.h>
+
+#include "core/tree_diff.h"
+
+namespace oct {
+namespace {
+
+CategoryTree TwoCategoryTree() {
+  CategoryTree tree;
+  const NodeId a = tree.AddCategory(tree.root(), "shirts");
+  const NodeId b = tree.AddCategory(tree.root(), "pants");
+  for (ItemId x : {0u, 1u, 2u}) tree.AssignItem(a, x);
+  for (ItemId x : {3u, 4u, 5u}) tree.AssignItem(b, x);
+  return tree;
+}
+
+TEST(TreeDiff, IdenticalTreesAreFullyStable) {
+  const CategoryTree tree = TwoCategoryTree();
+  const TreeDiff diff = CompareTrees(tree, tree);
+  EXPECT_DOUBLE_EQ(diff.mean_category_overlap, 1.0);
+  EXPECT_EQ(diff.matched_categories, 2u);
+  EXPECT_EQ(diff.novel_categories, 0u);
+  EXPECT_EQ(diff.dropped_categories, 0u);
+  EXPECT_EQ(diff.items_moved, 0u);
+  EXPECT_EQ(diff.items_compared, 6u);
+  EXPECT_DOUBLE_EQ(diff.ItemStability(), 1.0);
+}
+
+TEST(TreeDiff, MovedItemDetected) {
+  const CategoryTree old_tree = TwoCategoryTree();
+  CategoryTree new_tree;
+  const NodeId a = new_tree.AddCategory(new_tree.root(), "shirts");
+  const NodeId b = new_tree.AddCategory(new_tree.root(), "pants");
+  for (ItemId x : {0u, 1u}) new_tree.AssignItem(a, x);
+  for (ItemId x : {2u, 3u, 4u, 5u}) new_tree.AssignItem(b, x);  // 2 moved.
+  const TreeDiff diff = CompareTrees(old_tree, new_tree);
+  EXPECT_EQ(diff.items_moved, 1u);
+  EXPECT_EQ(diff.items_compared, 6u);
+  EXPECT_NEAR(diff.ItemStability(), 5.0 / 6.0, 1e-12);
+  EXPECT_EQ(diff.matched_categories, 2u);
+}
+
+TEST(TreeDiff, NovelAndDroppedCategories) {
+  const CategoryTree old_tree = TwoCategoryTree();
+  CategoryTree new_tree;
+  const NodeId c = new_tree.AddCategory(new_tree.root(), "accessories");
+  for (ItemId x : {10u, 11u, 12u}) new_tree.AssignItem(c, x);
+  const TreeDiff diff = CompareTrees(old_tree, new_tree);
+  EXPECT_EQ(diff.novel_categories, 1u);
+  EXPECT_EQ(diff.dropped_categories, 2u);
+  EXPECT_EQ(diff.items_compared, 0u);
+  EXPECT_DOUBLE_EQ(diff.ItemStability(), 1.0);  // Vacuous.
+}
+
+TEST(TreeDiff, MiscAndRootExcluded) {
+  CategoryTree old_tree = TwoCategoryTree();
+  CategoryTree new_tree = TwoCategoryTree();
+  const NodeId misc = new_tree.AddCategory(new_tree.root(), "misc");
+  for (ItemId x : {20u, 21u}) new_tree.AssignItem(misc, x);
+  const TreeDiff diff = CompareTrees(old_tree, new_tree);
+  EXPECT_EQ(diff.novel_categories, 0u);  // misc not counted.
+  EXPECT_EQ(diff.items_compared, 6u);
+}
+
+TEST(TreeDiff, SplitCategoryScoresPartialOverlap) {
+  const CategoryTree old_tree = TwoCategoryTree();
+  CategoryTree new_tree;
+  // "shirts" split into two halves; "pants" intact.
+  const NodeId a1 = new_tree.AddCategory(new_tree.root(), "shirts-a");
+  const NodeId a2 = new_tree.AddCategory(new_tree.root(), "shirts-b");
+  const NodeId b = new_tree.AddCategory(new_tree.root(), "pants");
+  new_tree.AssignItem(a1, 0);
+  new_tree.AssignItem(a1, 1);
+  new_tree.AssignItem(a2, 2);
+  for (ItemId x : {3u, 4u, 5u}) new_tree.AssignItem(b, x);
+  const TreeDiff diff = CompareTrees(old_tree, new_tree);
+  // Overlaps: 2/3, 1/3, 1 -> mean 2/3.
+  EXPECT_NEAR(diff.mean_category_overlap, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(diff.matched_categories, 2u);  // shirts-a (2/3) and pants.
+  EXPECT_EQ(diff.novel_categories, 1u);    // shirts-b at 1/3.
+}
+
+}  // namespace
+}  // namespace oct

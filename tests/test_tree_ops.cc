@@ -1,0 +1,165 @@
+// Tests for tree post-processing: intermediate categories (Alg. 1 lines
+// 21-23), condensing (lines 24-25), and the misc category (line 26).
+
+#include <gtest/gtest.h>
+
+#include "core/scoring.h"
+#include "core/tree_ops.h"
+
+namespace oct {
+namespace {
+
+TEST(Intermediates, RecombinesIntersectingSiblings) {
+  // Figure 6 flavor: three sibling categories; two of their sets intersect
+  // heavily (q2 subset of q3) -> an intermediate parent covering the union.
+  OctInput input(8);
+  const SetId q1 = input.Add(ItemSet({0, 1, 2}), 2.0, "q1");
+  const SetId q2 = input.Add(ItemSet({3, 4}), 1.0, "q2");
+  const SetId q3 = input.Add(ItemSet({3, 4, 5, 6}), 3.0, "q3");
+  CategoryTree tree;
+  const NodeId c1 = tree.AddCategory(tree.root(), "C1", q1);
+  const NodeId c2 = tree.AddCategory(tree.root(), "C2", q2);
+  const NodeId c3 = tree.AddCategory(tree.root(), "C3", q3);
+  (void)c1;
+  const size_t added = AddIntermediateCategories(input, &tree);
+  EXPECT_EQ(added, 1u);
+  // C2 and C3 now share an intermediate parent; C1 does not.
+  EXPECT_EQ(tree.node(c2).parent, tree.node(c3).parent);
+  EXPECT_NE(tree.node(c2).parent, tree.root());
+  EXPECT_EQ(tree.node(c1).parent, tree.root());
+  EXPECT_TRUE(tree.ValidateStructure().ok());
+}
+
+TEST(Intermediates, StopsAtTwoChildren) {
+  OctInput input(6);
+  const SetId q1 = input.Add(ItemSet({0, 1}), 1.0, "q1");
+  const SetId q2 = input.Add(ItemSet({1, 2}), 1.0, "q2");
+  CategoryTree tree;
+  tree.AddCategory(tree.root(), "C1", q1);
+  tree.AddCategory(tree.root(), "C2", q2);
+  // Only two children: the loop must not fire even though the sets overlap.
+  EXPECT_EQ(AddIntermediateCategories(input, &tree), 0u);
+}
+
+TEST(Intermediates, NoIntersectionsNoChange) {
+  OctInput input(9);
+  const SetId q1 = input.Add(ItemSet({0, 1}), 1.0, "q1");
+  const SetId q2 = input.Add(ItemSet({2, 3}), 1.0, "q2");
+  const SetId q3 = input.Add(ItemSet({4, 5}), 1.0, "q3");
+  CategoryTree tree;
+  tree.AddCategory(tree.root(), "C1", q1);
+  tree.AddCategory(tree.root(), "C2", q2);
+  tree.AddCategory(tree.root(), "C3", q3);
+  EXPECT_EQ(AddIntermediateCategories(input, &tree), 0u);
+}
+
+TEST(Intermediates, CascadesUntilBinaryOrDisjoint) {
+  // Four pairwise-intersecting sets collapse into a two-child structure.
+  OctInput input(10);
+  const SetId q1 = input.Add(ItemSet({0, 1, 2}), 1.0, "q1");
+  const SetId q2 = input.Add(ItemSet({2, 3, 4}), 1.0, "q2");
+  const SetId q3 = input.Add(ItemSet({4, 5, 6}), 1.0, "q3");
+  const SetId q4 = input.Add(ItemSet({6, 7, 8}), 1.0, "q4");
+  CategoryTree tree;
+  tree.AddCategory(tree.root(), "C1", q1);
+  tree.AddCategory(tree.root(), "C2", q2);
+  tree.AddCategory(tree.root(), "C3", q3);
+  tree.AddCategory(tree.root(), "C4", q4);
+  const size_t added = AddIntermediateCategories(input, &tree);
+  EXPECT_GE(added, 2u);
+  EXPECT_LE(tree.node(tree.root()).children.size(), 2u);
+  EXPECT_TRUE(tree.ValidateStructure().ok());
+}
+
+TEST(Condense, RemovesNonCoveringCategoryAndKeepsItems) {
+  // Category B covers nothing; it must be removed, its items flowing to the
+  // parent so surviving ancestors keep their full sets.
+  OctInput input(6);
+  input.Add(ItemSet({0, 1, 2, 3}), 1.0, "q");
+  CategoryTree tree;
+  const NodeId a = tree.AddCategory(tree.root(), "A");
+  const NodeId b = tree.AddCategory(a, "B");
+  tree.AssignItem(a, 0);
+  tree.AssignItem(a, 1);
+  tree.AssignItem(b, 2);
+  tree.AssignItem(b, 3);
+  const Similarity sim(Variant::kJaccardThreshold, 0.9);
+  const CondenseStats stats = CondenseTree(input, sim, &tree);
+  EXPECT_EQ(stats.categories_removed, 1u);
+  EXPECT_TRUE(tree.IsAlive(a));
+  EXPECT_FALSE(tree.IsAlive(b));
+  EXPECT_EQ(tree.ItemSetOf(a).size(), 4u);  // Items preserved.
+  const TreeScore score = ScoreTree(input, tree, sim);
+  EXPECT_DOUBLE_EQ(score.total, 1.0);
+}
+
+TEST(Condense, RemovesItemsOnlyInUncoveredSets) {
+  OctInput input(6);
+  input.Add(ItemSet({0, 1}), 1.0, "covered");
+  input.Add(ItemSet({4, 5}), 1.0, "uncovered");
+  CategoryTree tree;
+  const NodeId a = tree.AddCategory(tree.root(), "A");
+  tree.AssignItem(a, 0);
+  tree.AssignItem(a, 1);
+  tree.AssignItem(a, 4);  // Pollutes A with an uncovered-set item.
+  const Similarity sim(Variant::kJaccardThreshold, 0.6);
+  const CondenseStats stats = CondenseTree(input, sim, &tree);
+  EXPECT_GE(stats.items_removed, 1u);
+  EXPECT_FALSE(tree.ItemSetOf(a).Contains(4));
+  // Removing 4 raises A's precision: J(covered, A) = 1 now.
+  const TreeScore score = ScoreTree(input, tree, sim);
+  EXPECT_TRUE(score.per_set[0].covered);
+}
+
+TEST(Condense, KeepsHighestPrecisionCoverOnTies) {
+  OctInput input(8);
+  input.Add(ItemSet({0, 1, 2}), 1.0, "q");
+  CategoryTree tree;
+  const NodeId precise = tree.AddCategory(tree.root(), "precise");
+  const NodeId loose = tree.AddCategory(tree.root(), "loose");
+  for (ItemId x : {0u, 1u, 2u}) tree.AssignItem(precise, x);
+  // loose cannot hold the same items (bound 1); give it a weaker overlap.
+  for (ItemId x : {3u, 4u}) tree.AssignItem(loose, x);
+  const Similarity sim(Variant::kJaccardThreshold, 0.5);
+  CondenseTree(input, sim, &tree);
+  EXPECT_TRUE(tree.IsAlive(precise));
+  EXPECT_FALSE(tree.IsAlive(loose));
+}
+
+TEST(Condense, ProtectedNodesSurvive) {
+  OctInput input(4);
+  input.Add(ItemSet({0}), 1.0, "q");
+  CategoryTree tree;
+  const NodeId covering = tree.AddCategory(tree.root(), "covering");
+  tree.AssignItem(covering, 0);
+  const NodeId pinned = tree.AddCategory(tree.root(), "pinned");
+  const Similarity sim(Variant::kJaccardThreshold, 0.9);
+  CondenseTree(input, sim, &tree, /*protect=*/{pinned});
+  EXPECT_TRUE(tree.IsAlive(pinned));
+}
+
+TEST(MiscCategory, CollectsUnassignedItems) {
+  OctInput input(5);
+  input.Add(ItemSet({0, 1}), 1.0, "q");
+  CategoryTree tree;
+  const NodeId a = tree.AddCategory(tree.root(), "A");
+  tree.AssignItem(a, 0);
+  tree.AssignItem(a, 1);
+  const NodeId misc = AddMiscCategory(input, &tree);
+  ASSERT_NE(misc, kInvalidNode);
+  EXPECT_EQ(tree.node(misc).direct_items, ItemSet({2, 3, 4}));
+  EXPECT_EQ(tree.node(misc).parent, tree.root());
+  EXPECT_TRUE(tree.ValidateModel(input).ok());
+}
+
+TEST(MiscCategory, NoOpWhenEverythingPlaced) {
+  OctInput input(2);
+  input.Add(ItemSet({0, 1}), 1.0, "q");
+  CategoryTree tree;
+  tree.AssignItem(tree.root(), 0);
+  tree.AssignItem(tree.root(), 1);
+  EXPECT_EQ(AddMiscCategory(input, &tree), kInvalidNode);
+}
+
+}  // namespace
+}  // namespace oct

@@ -1,0 +1,190 @@
+// Unit tests for the util module: Status/Result, Rng/Zipf, ThreadPool,
+// TableWriter, string helpers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+#include "util/thread_pool.h"
+
+namespace oct {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad delta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad delta");
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    OCT_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10 && !differ; ++i) differ = a.Next() != b.Next();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(99);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(50, 1.1);
+  double total = 0.0;
+  for (size_t k = 0; k < 50; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroMostFrequent) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[19]);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(TableWriter, AlignedOutputContainsCells) {
+  TableWriter t({"algo", "score"});
+  t.AddRow({"CTCR", "0.91"});
+  t.AddRow({"CCT", "0.82"});
+  const std::string s = t.ToAligned();
+  EXPECT_NE(s.find("CTCR"), std::string::npos);
+  EXPECT_NE(s.find("0.82"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriter, CsvEscapesSpecialCells) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"x,y", "he said \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableWriter, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::Num(0.12345, 2), "0.12");
+  EXPECT_EQ(TableWriter::Num(3.0, 1), "3.0");
+}
+
+TEST(StringUtil, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Split("a,b,c", ','), parts);
+}
+
+TEST(StringUtil, SplitKeepsEmptyTokens) {
+  const auto out = Split("a,,b", ',');
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1], "");
+}
+
+TEST(StringUtil, TokenizeLowercasesAndDropsPunctuation) {
+  const auto toks = Tokenize("Nike Blazer, size-42!");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "nike");
+  EXPECT_EQ(toks[1], "blazer");
+  EXPECT_EQ(toks[2], "size");
+  EXPECT_EQ(toks[3], "42");
+}
+
+}  // namespace
+}  // namespace oct
