@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesiveness.dir/cohesiveness.cc.o"
+  "CMakeFiles/cohesiveness.dir/cohesiveness.cc.o.d"
+  "cohesiveness"
+  "cohesiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_jaccard_c.dir/fig8a_jaccard_c.cc.o"
+  "CMakeFiles/fig8a_jaccard_c.dir/fig8a_jaccard_c.cc.o.d"
+  "fig8a_jaccard_c"
+  "fig8a_jaccard_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_jaccard_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_pr_c.dir/fig8b_pr_c.cc.o"
+  "CMakeFiles/fig8b_pr_c.dir/fig8b_pr_c.cc.o.d"
+  "fig8b_pr_c"
+  "fig8b_pr_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_pr_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_exact_c.dir/fig8c_exact_c.cc.o"
+  "CMakeFiles/fig8c_exact_c.dir/fig8c_exact_c.cc.o.d"
+  "fig8c_exact_c"
+  "fig8c_exact_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_exact_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

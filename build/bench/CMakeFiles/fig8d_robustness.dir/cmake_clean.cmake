@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8d_robustness.dir/fig8d_robustness.cc.o"
+  "CMakeFiles/fig8d_robustness.dir/fig8d_robustness.cc.o.d"
+  "fig8d_robustness"
+  "fig8d_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8e_e_and_traintest.dir/fig8e_e_and_traintest.cc.o"
+  "CMakeFiles/fig8e_e_and_traintest.dir/fig8e_e_and_traintest.cc.o.d"
+  "fig8e_e_and_traintest"
+  "fig8e_e_and_traintest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8e_e_and_traintest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

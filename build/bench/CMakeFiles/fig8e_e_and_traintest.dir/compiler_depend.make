@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8e_e_and_traintest.
+# This may be replaced when dependencies are built.

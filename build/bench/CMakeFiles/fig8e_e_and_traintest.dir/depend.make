@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8e_e_and_traintest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8f_scalability.dir/fig8f_scalability.cc.o"
+  "CMakeFiles/fig8f_scalability.dir/fig8f_scalability.cc.o.d"
+  "fig8f_scalability"
+  "fig8f_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8f_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8g_ctcr_sweep_jaccard.dir/fig8g_ctcr_sweep_jaccard.cc.o"
+  "CMakeFiles/fig8g_ctcr_sweep_jaccard.dir/fig8g_ctcr_sweep_jaccard.cc.o.d"
+  "fig8g_ctcr_sweep_jaccard"
+  "fig8g_ctcr_sweep_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8g_ctcr_sweep_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8g_ctcr_sweep_jaccard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8h_ctcr_sweep_pr.dir/fig8h_ctcr_sweep_pr.cc.o"
+  "CMakeFiles/fig8h_ctcr_sweep_pr.dir/fig8h_ctcr_sweep_pr.cc.o.d"
+  "fig8h_ctcr_sweep_pr"
+  "fig8h_ctcr_sweep_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8h_ctcr_sweep_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

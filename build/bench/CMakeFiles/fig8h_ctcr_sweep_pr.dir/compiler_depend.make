@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8h_ctcr_sweep_pr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mixing.dir/table1_mixing.cc.o"
+  "CMakeFiles/table1_mixing.dir/table1_mixing.cc.o.d"
+  "table1_mixing"
+  "table1_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_stability.dir/tree_stability.cc.o"
+  "CMakeFiles/tree_stability.dir/tree_stability.cc.o.d"
+  "tree_stability"
+  "tree_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

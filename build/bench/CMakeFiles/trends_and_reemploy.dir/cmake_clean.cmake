@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trends_and_reemploy.dir/trends_and_reemploy.cc.o"
+  "CMakeFiles/trends_and_reemploy.dir/trends_and_reemploy.cc.o.d"
+  "trends_and_reemploy"
+  "trends_and_reemploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trends_and_reemploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

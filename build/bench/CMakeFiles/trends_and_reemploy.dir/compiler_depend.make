@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trends_and_reemploy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continual_update.dir/continual_update.cpp.o"
+  "CMakeFiles/continual_update.dir/continual_update.cpp.o.d"
+  "continual_update"
+  "continual_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continual_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electronics_store.dir/electronics_store.cpp.o"
+  "CMakeFiles/electronics_store.dir/electronics_store.cpp.o.d"
+  "electronics_store"
+  "electronics_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electronics_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

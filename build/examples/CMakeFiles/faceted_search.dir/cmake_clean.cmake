@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faceted_search.dir/faceted_search.cpp.o"
+  "CMakeFiles/faceted_search.dir/faceted_search.cpp.o.d"
+  "faceted_search"
+  "faceted_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faceted_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

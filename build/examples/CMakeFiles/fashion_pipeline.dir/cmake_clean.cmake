@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fashion_pipeline.dir/fashion_pipeline.cpp.o"
+  "CMakeFiles/fashion_pipeline.dir/fashion_pipeline.cpp.o.d"
+  "fashion_pipeline"
+  "fashion_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fashion_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

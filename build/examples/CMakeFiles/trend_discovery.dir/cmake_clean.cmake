@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_discovery.dir/trend_discovery.cpp.o"
+  "CMakeFiles/trend_discovery.dir/trend_discovery.cpp.o.d"
+  "trend_discovery"
+  "trend_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

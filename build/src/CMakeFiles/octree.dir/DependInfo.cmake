@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cluster_util.cc" "src/CMakeFiles/octree.dir/baselines/cluster_util.cc.o" "gcc" "src/CMakeFiles/octree.dir/baselines/cluster_util.cc.o.d"
+  "/root/repo/src/baselines/existing_tree.cc" "src/CMakeFiles/octree.dir/baselines/existing_tree.cc.o" "gcc" "src/CMakeFiles/octree.dir/baselines/existing_tree.cc.o.d"
+  "/root/repo/src/baselines/ic_q.cc" "src/CMakeFiles/octree.dir/baselines/ic_q.cc.o" "gcc" "src/CMakeFiles/octree.dir/baselines/ic_q.cc.o.d"
+  "/root/repo/src/baselines/ic_s.cc" "src/CMakeFiles/octree.dir/baselines/ic_s.cc.o" "gcc" "src/CMakeFiles/octree.dir/baselines/ic_s.cc.o.d"
+  "/root/repo/src/cct/agglomerative.cc" "src/CMakeFiles/octree.dir/cct/agglomerative.cc.o" "gcc" "src/CMakeFiles/octree.dir/cct/agglomerative.cc.o.d"
+  "/root/repo/src/cct/cct.cc" "src/CMakeFiles/octree.dir/cct/cct.cc.o" "gcc" "src/CMakeFiles/octree.dir/cct/cct.cc.o.d"
+  "/root/repo/src/cct/embedding.cc" "src/CMakeFiles/octree.dir/cct/embedding.cc.o" "gcc" "src/CMakeFiles/octree.dir/cct/embedding.cc.o.d"
+  "/root/repo/src/core/category_tree.cc" "src/CMakeFiles/octree.dir/core/category_tree.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/category_tree.cc.o.d"
+  "/root/repo/src/core/input.cc" "src/CMakeFiles/octree.dir/core/input.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/input.cc.o.d"
+  "/root/repo/src/core/item_assignment.cc" "src/CMakeFiles/octree.dir/core/item_assignment.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/item_assignment.cc.o.d"
+  "/root/repo/src/core/item_set.cc" "src/CMakeFiles/octree.dir/core/item_set.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/item_set.cc.o.d"
+  "/root/repo/src/core/scoring.cc" "src/CMakeFiles/octree.dir/core/scoring.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/scoring.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/CMakeFiles/octree.dir/core/serialization.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/serialization.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/octree.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/similarity.cc.o.d"
+  "/root/repo/src/core/tree_diff.cc" "src/CMakeFiles/octree.dir/core/tree_diff.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/tree_diff.cc.o.d"
+  "/root/repo/src/core/tree_ops.cc" "src/CMakeFiles/octree.dir/core/tree_ops.cc.o" "gcc" "src/CMakeFiles/octree.dir/core/tree_ops.cc.o.d"
+  "/root/repo/src/ctcr/conflict_policy.cc" "src/CMakeFiles/octree.dir/ctcr/conflict_policy.cc.o" "gcc" "src/CMakeFiles/octree.dir/ctcr/conflict_policy.cc.o.d"
+  "/root/repo/src/ctcr/conflicts.cc" "src/CMakeFiles/octree.dir/ctcr/conflicts.cc.o" "gcc" "src/CMakeFiles/octree.dir/ctcr/conflicts.cc.o.d"
+  "/root/repo/src/ctcr/ctcr.cc" "src/CMakeFiles/octree.dir/ctcr/ctcr.cc.o" "gcc" "src/CMakeFiles/octree.dir/ctcr/ctcr.cc.o.d"
+  "/root/repo/src/ctcr/reemploy.cc" "src/CMakeFiles/octree.dir/ctcr/reemploy.cc.o" "gcc" "src/CMakeFiles/octree.dir/ctcr/reemploy.cc.o.d"
+  "/root/repo/src/data/catalog.cc" "src/CMakeFiles/octree.dir/data/catalog.cc.o" "gcc" "src/CMakeFiles/octree.dir/data/catalog.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/octree.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/octree.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/CMakeFiles/octree.dir/data/preprocess.cc.o" "gcc" "src/CMakeFiles/octree.dir/data/preprocess.cc.o.d"
+  "/root/repo/src/data/query_log.cc" "src/CMakeFiles/octree.dir/data/query_log.cc.o" "gcc" "src/CMakeFiles/octree.dir/data/query_log.cc.o.d"
+  "/root/repo/src/data/search_engine.cc" "src/CMakeFiles/octree.dir/data/search_engine.cc.o" "gcc" "src/CMakeFiles/octree.dir/data/search_engine.cc.o.d"
+  "/root/repo/src/eval/cohesiveness.cc" "src/CMakeFiles/octree.dir/eval/cohesiveness.cc.o" "gcc" "src/CMakeFiles/octree.dir/eval/cohesiveness.cc.o.d"
+  "/root/repo/src/eval/contribution.cc" "src/CMakeFiles/octree.dir/eval/contribution.cc.o" "gcc" "src/CMakeFiles/octree.dir/eval/contribution.cc.o.d"
+  "/root/repo/src/eval/error_detection.cc" "src/CMakeFiles/octree.dir/eval/error_detection.cc.o" "gcc" "src/CMakeFiles/octree.dir/eval/error_detection.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/octree.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/octree.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/train_test.cc" "src/CMakeFiles/octree.dir/eval/train_test.cc.o" "gcc" "src/CMakeFiles/octree.dir/eval/train_test.cc.o.d"
+  "/root/repo/src/mis/exact_solver.cc" "src/CMakeFiles/octree.dir/mis/exact_solver.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/exact_solver.cc.o.d"
+  "/root/repo/src/mis/graph.cc" "src/CMakeFiles/octree.dir/mis/graph.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/graph.cc.o.d"
+  "/root/repo/src/mis/greedy.cc" "src/CMakeFiles/octree.dir/mis/greedy.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/greedy.cc.o.d"
+  "/root/repo/src/mis/hypergraph.cc" "src/CMakeFiles/octree.dir/mis/hypergraph.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/hypergraph.cc.o.d"
+  "/root/repo/src/mis/hypergraph_solver.cc" "src/CMakeFiles/octree.dir/mis/hypergraph_solver.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/hypergraph_solver.cc.o.d"
+  "/root/repo/src/mis/kernelizer.cc" "src/CMakeFiles/octree.dir/mis/kernelizer.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/kernelizer.cc.o.d"
+  "/root/repo/src/mis/local_search.cc" "src/CMakeFiles/octree.dir/mis/local_search.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/local_search.cc.o.d"
+  "/root/repo/src/mis/reductions.cc" "src/CMakeFiles/octree.dir/mis/reductions.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/reductions.cc.o.d"
+  "/root/repo/src/mis/solver.cc" "src/CMakeFiles/octree.dir/mis/solver.cc.o" "gcc" "src/CMakeFiles/octree.dir/mis/solver.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/octree.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/octree.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/octree.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/octree.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/octree.dir/util/status.cc.o" "gcc" "src/CMakeFiles/octree.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/octree.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/octree.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_writer.cc" "src/CMakeFiles/octree.dir/util/table_writer.cc.o" "gcc" "src/CMakeFiles/octree.dir/util/table_writer.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/octree.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/octree.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

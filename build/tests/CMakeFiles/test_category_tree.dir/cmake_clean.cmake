@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_category_tree.dir/test_category_tree.cc.o"
+  "CMakeFiles/test_category_tree.dir/test_category_tree.cc.o.d"
+  "test_category_tree"
+  "test_category_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_category_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cct.dir/test_cct.cc.o"
+  "CMakeFiles/test_cct.dir/test_cct.cc.o.d"
+  "test_cct"
+  "test_cct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conflict_policy.dir/test_conflict_policy.cc.o"
+  "CMakeFiles/test_conflict_policy.dir/test_conflict_policy.cc.o.d"
+  "test_conflict_policy"
+  "test_conflict_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conflict_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

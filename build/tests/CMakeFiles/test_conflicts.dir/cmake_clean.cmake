@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conflicts.dir/test_conflicts.cc.o"
+  "CMakeFiles/test_conflicts.dir/test_conflicts.cc.o.d"
+  "test_conflicts"
+  "test_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

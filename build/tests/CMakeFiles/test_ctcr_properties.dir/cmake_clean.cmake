@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctcr_properties.dir/test_ctcr_properties.cc.o"
+  "CMakeFiles/test_ctcr_properties.dir/test_ctcr_properties.cc.o.d"
+  "test_ctcr_properties"
+  "test_ctcr_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctcr_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

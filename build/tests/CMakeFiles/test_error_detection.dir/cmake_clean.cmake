@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_detection.dir/test_error_detection.cc.o"
+  "CMakeFiles/test_error_detection.dir/test_error_detection.cc.o.d"
+  "test_error_detection"
+  "test_error_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input.dir/test_input.cc.o"
+  "CMakeFiles/test_input.dir/test_input.cc.o.d"
+  "test_input"
+  "test_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

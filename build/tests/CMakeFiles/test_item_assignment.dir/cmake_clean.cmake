@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_item_assignment.dir/test_item_assignment.cc.o"
+  "CMakeFiles/test_item_assignment.dir/test_item_assignment.cc.o.d"
+  "test_item_assignment"
+  "test_item_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_item_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

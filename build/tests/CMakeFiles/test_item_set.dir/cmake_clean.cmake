@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_item_set.dir/test_item_set.cc.o"
+  "CMakeFiles/test_item_set.dir/test_item_set.cc.o.d"
+  "test_item_set"
+  "test_item_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_item_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelizer.dir/test_kernelizer.cc.o"
+  "CMakeFiles/test_kernelizer.dir/test_kernelizer.cc.o.d"
+  "test_kernelizer"
+  "test_kernelizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

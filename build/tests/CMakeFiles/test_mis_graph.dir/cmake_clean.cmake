@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mis_graph.dir/test_mis_graph.cc.o"
+  "CMakeFiles/test_mis_graph.dir/test_mis_graph.cc.o.d"
+  "test_mis_graph"
+  "test_mis_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mis_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

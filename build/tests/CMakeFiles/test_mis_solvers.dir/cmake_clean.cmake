@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mis_solvers.dir/test_mis_solvers.cc.o"
+  "CMakeFiles/test_mis_solvers.dir/test_mis_solvers.cc.o.d"
+  "test_mis_solvers"
+  "test_mis_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mis_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reemploy.dir/test_reemploy.cc.o"
+  "CMakeFiles/test_reemploy.dir/test_reemploy.cc.o.d"
+  "test_reemploy"
+  "test_reemploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reemploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

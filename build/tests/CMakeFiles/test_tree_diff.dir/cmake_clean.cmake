@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_diff.dir/test_tree_diff.cc.o"
+  "CMakeFiles/test_tree_diff.dir/test_tree_diff.cc.o.d"
+  "test_tree_diff"
+  "test_tree_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

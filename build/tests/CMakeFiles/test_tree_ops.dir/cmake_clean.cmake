@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_ops.dir/test_tree_ops.cc.o"
+  "CMakeFiles/test_tree_ops.dir/test_tree_ops.cc.o.d"
+  "test_tree_ops"
+  "test_tree_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
