@@ -10,13 +10,18 @@ namespace oct {
 namespace {
 
 /// item -> nodes where the item is a direct (most-specific) placement.
+/// Items outside the input's universe are skipped: a tree scored under a
+/// *different* input than it was built from (the serving drift check, the
+/// train/test experiment) may legitimately place items the new universe
+/// does not know about; they cannot intersect any input set, though they
+/// still count toward category sizes (and therefore precision).
 std::vector<std::vector<NodeId>> BuildDirectIndex(const CategoryTree& tree,
                                                   size_t universe_size) {
   std::vector<std::vector<NodeId>> index(universe_size);
   for (NodeId id = 0; id < tree.num_nodes(); ++id) {
     if (!tree.IsAlive(id)) continue;
     for (ItemId item : tree.node(id).direct_items) {
-      OCT_DCHECK_LT(item, universe_size);
+      if (item >= universe_size) continue;
       index[item].push_back(id);
     }
   }

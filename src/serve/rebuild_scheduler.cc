@@ -1,0 +1,168 @@
+#include "serve/rebuild_scheduler.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/scoring.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace oct {
+namespace serve {
+
+const char* BatchDecisionName(BatchDecision decision) {
+  switch (decision) {
+    case BatchDecision::kUpToDate:
+      return "up-to-date";
+    case BatchDecision::kScheduled:
+      return "scheduled";
+    case BatchDecision::kAlreadyRebuilding:
+      return "already-rebuilding";
+    case BatchDecision::kBootstrap:
+      return "bootstrap";
+  }
+  return "?";
+}
+
+RebuildScheduler::RebuildScheduler(TreeStore* store, ServeStats* stats,
+                                   const data::Dataset* dataset,
+                                   Similarity sim, RebuildPolicy policy,
+                                   ThreadPool* pool)
+    : store_(store),
+      stats_(stats),
+      dataset_(dataset),
+      sim_(sim),
+      policy_(policy),
+      pool_(pool != nullptr ? pool : DefaultThreadPool()) {
+  OCT_CHECK(store_ != nullptr);
+  OCT_CHECK(stats_ != nullptr);
+  OCT_CHECK(dataset_ != nullptr);
+}
+
+RebuildScheduler::~RebuildScheduler() { WaitForRebuild(); }
+
+BatchDecision RebuildScheduler::OfferBatch(OctInput batch) {
+  const auto snap = store_->Current();
+  double current_score = 0.0;
+  if (snap != nullptr) {
+    // Scoring the served tree under the fresh batch is the cheap drift
+    // probe (one ScoreTree pass); a full rebuild only happens when it says
+    // the tree has gone stale.
+    current_score =
+        ScoreTree(batch, snap->tree(), sim_, nullptr).normalized;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (published_score_ <= 0.0) {
+      // Tree was published outside this scheduler (bootstrap import):
+      // adopt its observed score as the drift baseline.
+      published_score_ = current_score;
+      return BatchDecision::kUpToDate;
+    }
+    if (current_score >= published_score_ - policy_.drift_tolerance) {
+      return BatchDecision::kUpToDate;
+    }
+  }
+
+  bool expected = false;
+  if (!in_flight_.compare_exchange_strong(expected, true)) {
+    return BatchDecision::kAlreadyRebuilding;
+  }
+  stats_->RecordRebuildTriggered();
+  auto shared_batch = std::make_shared<OctInput>(std::move(batch));
+  pool_->Submit([this, shared_batch, current_score] {
+    FinishRebuild(RunRebuild(*shared_batch, current_score));
+  });
+  return snap == nullptr ? BatchDecision::kBootstrap
+                         : BatchDecision::kScheduled;
+}
+
+RebuildOutcome RebuildScheduler::RebuildNow(const OctInput& batch) {
+  // Claim the single rebuild slot, waiting out any background rebuild so
+  // two candidates never race to publish.
+  for (;;) {
+    WaitForRebuild();
+    bool expected = false;
+    if (in_flight_.compare_exchange_strong(expected, true)) break;
+  }
+  stats_->RecordRebuildTriggered();
+  const auto snap = store_->Current();
+  const double current_score =
+      snap == nullptr
+          ? 0.0
+          : ScoreTree(batch, snap->tree(), sim_, nullptr).normalized;
+  RebuildOutcome outcome = RunRebuild(batch, current_score);
+  FinishRebuild(outcome);
+  return outcome;
+}
+
+RebuildOutcome RebuildScheduler::RunRebuild(const OctInput& batch,
+                                            double current_score) {
+  RebuildOutcome outcome;
+  outcome.current_score = current_score;
+  Timer timer;
+
+  // Reuse the eval harness: same build path the figure benches exercise.
+  CategoryTree candidate =
+      eval::BuildTree(policy_.algorithm, *dataset_, batch, sim_);
+  outcome.candidate_score =
+      ScoreTree(batch, candidate, sim_, nullptr).normalized;
+
+  const auto served = store_->Current();
+  if (outcome.candidate_score < current_score + policy_.min_publish_gain) {
+    outcome.reason = "candidate does not beat served tree";
+  } else {
+    // The conservative-update gate compares against the served tree, so it
+    // only applies once something is being served.
+    bool conservative_enough = true;
+    if (served != nullptr && policy_.min_item_stability > 0.0) {
+      outcome.item_stability =
+          CompareTrees(served->tree(), candidate).ItemStability();
+      conservative_enough =
+          outcome.item_stability >= policy_.min_item_stability;
+    }
+    if (!conservative_enough) {
+      outcome.reason = "update not conservative enough";
+    } else {
+      const auto published = store_->Publish(
+          std::move(candidate),
+          std::string("rebuild:") + eval::AlgorithmName(policy_.algorithm));
+      outcome.published = true;
+      outcome.published_version = published->version();
+      outcome.reason = "published";
+      stats_->RecordPublish(published->version());
+    }
+  }
+
+  outcome.seconds = timer.ElapsedSeconds();
+  stats_->RecordRebuildFinished(outcome.published, outcome.seconds);
+  return outcome;
+}
+
+void RebuildScheduler::FinishRebuild(RebuildOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outcome.published) published_score_ = outcome.candidate_score;
+  last_outcome_ = std::move(outcome);
+  in_flight_.store(false, std::memory_order_release);
+  // Notify under the lock: ~RebuildScheduler runs WaitForRebuild and then
+  // destroys cv_done_, so the notifier must be done with the condvar before
+  // any waiter can observe in_flight_ == false and proceed to destruction.
+  cv_done_.notify_all();
+}
+
+void RebuildScheduler::WaitForRebuild() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock,
+                [this] { return !in_flight_.load(std::memory_order_acquire); });
+}
+
+RebuildOutcome RebuildScheduler::last_outcome() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_outcome_;
+}
+
+double RebuildScheduler::published_score() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_score_;
+}
+
+}  // namespace serve
+}  // namespace oct

@@ -1,0 +1,145 @@
+// RebuildScheduler: keeps the served tree fresh without ever stalling the
+// read path. Search/navigation traffic drifts (new queries, trends — the
+// paper's Section 5.4 "Kobe" effect) while production trees are regenerated
+// only periodically (Section 5.1: every ~90 days). The scheduler accepts
+// fresh preprocessed query-log batches, measures how well the *currently
+// served* tree still scores under them, and when the score has drifted too
+// far below the level the tree was published at, rebuilds a candidate on
+// the shared ThreadPool in the background. Readers keep serving the old
+// snapshot throughout; the candidate is published (one atomic swap in
+// TreeStore) only if it actually beats the current tree — and optionally
+// only if it is a conservative update (TreeDiff item-stability gate,
+// Section 2.3).
+
+#ifndef OCT_SERVE_REBUILD_SCHEDULER_H_
+#define OCT_SERVE_REBUILD_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+#include "core/input.h"
+#include "core/similarity.h"
+#include "data/datasets.h"
+#include "eval/harness.h"
+#include "serve/serve_stats.h"
+#include "serve/tree_store.h"
+#include "util/thread_pool.h"
+
+namespace oct {
+namespace serve {
+
+/// When and how the scheduler rebuilds.
+struct RebuildPolicy {
+  /// Algorithm for candidate trees. CTCR/CCT/IC-Q consume only the input;
+  /// IC-S/ET additionally need the dataset's catalog / existing tree.
+  eval::Algorithm algorithm = eval::Algorithm::kCtcr;
+  /// Trigger: rebuild when the current tree's normalized score under a
+  /// fresh batch falls more than this below the score it was published at.
+  double drift_tolerance = 0.05;
+  /// Publish gate: the candidate's normalized score must exceed the current
+  /// tree's score under the same batch by at least this margin.
+  double min_publish_gain = 0.0;
+  /// Conservative-update gate: discard candidates whose TreeDiff item
+  /// stability against the served tree is below this (0 disables the gate).
+  double min_item_stability = 0.0;
+};
+
+/// What OfferBatch decided.
+enum class BatchDecision {
+  /// Current tree still scores within tolerance; no rebuild.
+  kUpToDate,
+  /// Drift detected; a background rebuild was enqueued.
+  kScheduled,
+  /// Drift detected but a rebuild is already in flight; batch dropped.
+  kAlreadyRebuilding,
+  /// Nothing published yet; a bootstrap rebuild was enqueued.
+  kBootstrap,
+};
+
+const char* BatchDecisionName(BatchDecision decision);
+
+/// Result of one rebuild attempt (background or synchronous).
+struct RebuildOutcome {
+  bool published = false;
+  /// Version the candidate was published as (0 when discarded).
+  TreeVersion published_version = 0;
+  /// Normalized score of the previously served tree under the batch.
+  double current_score = 0.0;
+  /// Normalized score of the candidate under the batch.
+  double candidate_score = 0.0;
+  /// TreeDiff item stability candidate-vs-served (1 when nothing served).
+  double item_stability = 1.0;
+  /// Wall-clock of the rebuild (build + score + gates), seconds.
+  double seconds = 0.0;
+  /// Human-readable publish/discard reason.
+  std::string reason;
+};
+
+class RebuildScheduler {
+ public:
+  /// `store` and `stats` must outlive the scheduler. `dataset` provides the
+  /// catalog/existing-tree context some algorithms need (may point to an
+  /// empty Dataset for CTCR/CCT/IC-Q). `pool` defaults to
+  /// DefaultThreadPool(); rebuilds occupy one task slot on it.
+  RebuildScheduler(TreeStore* store, ServeStats* stats,
+                   const data::Dataset* dataset, Similarity sim,
+                   RebuildPolicy policy = {}, ThreadPool* pool = nullptr);
+
+  /// Blocks until any in-flight rebuild has finished.
+  ~RebuildScheduler();
+
+  RebuildScheduler(const RebuildScheduler&) = delete;
+  RebuildScheduler& operator=(const RebuildScheduler&) = delete;
+
+  /// Scores the served tree under `batch` (inline — scoring is cheap
+  /// relative to a rebuild) and enqueues a background rebuild when the
+  /// score has drifted. Returns immediately; readers are never blocked.
+  BatchDecision OfferBatch(OctInput batch);
+
+  /// Synchronous rebuild + gated publish on the calling thread (bootstrap
+  /// and tests). Runs even when no drift is detected.
+  RebuildOutcome RebuildNow(const OctInput& batch);
+
+  /// True while a background rebuild is executing or queued.
+  bool rebuild_in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until no rebuild is in flight (bench/test synchronization).
+  void WaitForRebuild();
+
+  /// Outcome of the most recently finished rebuild.
+  RebuildOutcome last_outcome() const;
+
+  /// Normalized score the served tree achieved when it was last published
+  /// (the drift baseline); 0 before any publish through this scheduler.
+  double published_score() const;
+
+  const RebuildPolicy& policy() const { return policy_; }
+
+ private:
+  /// Builds, gates, and maybe publishes a candidate for `batch`;
+  /// `current_score` is the served tree's score under that batch.
+  RebuildOutcome RunRebuild(const OctInput& batch, double current_score);
+  void FinishRebuild(RebuildOutcome outcome);
+
+  TreeStore* const store_;
+  ServeStats* const stats_;
+  const data::Dataset* const dataset_;
+  const Similarity sim_;
+  const RebuildPolicy policy_;
+  ThreadPool* const pool_;
+
+  std::atomic<bool> in_flight_{false};
+  mutable std::mutex mu_;  // Guards last_outcome_, published_score_.
+  std::condition_variable cv_done_;
+  RebuildOutcome last_outcome_;
+  double published_score_ = 0.0;
+};
+
+}  // namespace serve
+}  // namespace oct
+
+#endif  // OCT_SERVE_REBUILD_SCHEDULER_H_

@@ -1,0 +1,43 @@
+#include "serve/serve_stats.h"
+
+#include <cstdio>
+
+namespace oct {
+namespace serve {
+
+std::string ServeStatsSnapshot::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "version=%llu item_lookups=%llu hit_rate=%.3f label_lookups=%llu "
+      "publishes=%llu rollbacks=%llu rebuilds=%llu (published=%llu "
+      "discarded=%llu) rebuild_seconds=%.3f",
+      static_cast<unsigned long long>(current_version),
+      static_cast<unsigned long long>(item_lookups), ItemHitRate(),
+      static_cast<unsigned long long>(label_lookups),
+      static_cast<unsigned long long>(publishes),
+      static_cast<unsigned long long>(rollbacks),
+      static_cast<unsigned long long>(rebuilds_triggered),
+      static_cast<unsigned long long>(rebuilds_published),
+      static_cast<unsigned long long>(rebuilds_discarded), RebuildSeconds());
+  return buf;
+}
+
+ServeStatsSnapshot ServeStats::Snapshot() const {
+  ServeStatsSnapshot s;
+  s.item_lookups = item_lookups_.load(std::memory_order_relaxed);
+  s.item_hits = item_hits_.load(std::memory_order_relaxed);
+  s.label_lookups = label_lookups_.load(std::memory_order_relaxed);
+  s.label_hits = label_hits_.load(std::memory_order_relaxed);
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  s.rebuilds_triggered = rebuilds_triggered_.load(std::memory_order_relaxed);
+  s.rebuilds_published = rebuilds_published_.load(std::memory_order_relaxed);
+  s.rebuilds_discarded = rebuilds_discarded_.load(std::memory_order_relaxed);
+  s.rebuild_micros = rebuild_micros_.load(std::memory_order_relaxed);
+  s.current_version = current_version_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace serve
+}  // namespace oct

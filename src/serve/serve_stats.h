@@ -1,0 +1,92 @@
+// ServeStats: lock-free counter block for the serving stack — lookup
+// volume/hit rate on the read path, publish/rollback/rebuild activity on
+// the write path. Counters are plain relaxed atomics: recording from many
+// reader threads never synchronizes, and Snapshot() gives a consistent-
+// enough view for dashboards (each counter is individually exact).
+
+#ifndef OCT_SERVE_SERVE_STATS_H_
+#define OCT_SERVE_SERVE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace oct {
+namespace serve {
+
+/// Plain-value copy of every counter, safe to pass around.
+struct ServeStatsSnapshot {
+  uint64_t item_lookups = 0;
+  uint64_t item_hits = 0;
+  uint64_t label_lookups = 0;
+  uint64_t label_hits = 0;
+  uint64_t publishes = 0;
+  uint64_t rollbacks = 0;
+  uint64_t rebuilds_triggered = 0;
+  uint64_t rebuilds_published = 0;
+  uint64_t rebuilds_discarded = 0;
+  /// Total wall-clock spent in background rebuilds, microseconds.
+  uint64_t rebuild_micros = 0;
+  /// Version of the currently served snapshot (0 = none published yet).
+  uint64_t current_version = 0;
+
+  double RebuildSeconds() const { return rebuild_micros * 1e-6; }
+  double ItemHitRate() const {
+    return item_lookups == 0
+               ? 0.0
+               : static_cast<double>(item_hits) /
+                     static_cast<double>(item_lookups);
+  }
+
+  /// One-line "k=v k=v ..." rendering for logs.
+  std::string ToString() const;
+};
+
+class ServeStats {
+ public:
+  void RecordItemLookup(bool hit) {
+    item_lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (hit) item_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordLabelLookup(bool hit) {
+    label_lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (hit) label_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordPublish(uint64_t version) {
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+    current_version_.store(version, std::memory_order_relaxed);
+  }
+  void RecordRollback() { rollbacks_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRebuildTriggered() {
+    rebuilds_triggered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordRebuildFinished(bool published, double seconds) {
+    if (published) {
+      rebuilds_published_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rebuilds_discarded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    rebuild_micros_.fetch_add(static_cast<uint64_t>(seconds * 1e6),
+                              std::memory_order_relaxed);
+  }
+
+  ServeStatsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> item_lookups_{0};
+  std::atomic<uint64_t> item_hits_{0};
+  std::atomic<uint64_t> label_lookups_{0};
+  std::atomic<uint64_t> label_hits_{0};
+  std::atomic<uint64_t> publishes_{0};
+  std::atomic<uint64_t> rollbacks_{0};
+  std::atomic<uint64_t> rebuilds_triggered_{0};
+  std::atomic<uint64_t> rebuilds_published_{0};
+  std::atomic<uint64_t> rebuilds_discarded_{0};
+  std::atomic<uint64_t> rebuild_micros_{0};
+  std::atomic<uint64_t> current_version_{0};
+};
+
+}  // namespace serve
+}  // namespace oct
+
+#endif  // OCT_SERVE_SERVE_STATS_H_

@@ -50,6 +50,70 @@ TEST(InputSerialization, RoundTripWithBounds) {
   EXPECT_EQ(parsed->item_bounds(), (std::vector<uint32_t>{1, 2, 3}));
 }
 
+/// Labels that stress every corner of the escaping scheme.
+std::vector<std::string> AdversarialLabels() {
+  return {
+      "",                      // Empty (the "-" sentinel).
+      "-",                     // Collides with the sentinel unless escaped.
+      " ",                     // Only a space.
+      "100% cotton",           // Percent mid-label.
+      "%",                     // Lone escape character.
+      "%25",                   // Looks like an escape sequence already.
+      "%2",                    // Truncated escape.
+      "two  spaces",           // Consecutive spaces.
+      " leading and trailing ",
+      "line\nbreak",
+      "tab\there",
+      "crlf\r\n",
+      "% 2D -",                // Mix of all the specials.
+      "ñandú 100%",            // Multi-byte UTF-8 plus a special.
+  };
+}
+
+TEST(InputSerialization, PropertyAdversarialLabelsRoundTrip) {
+  const auto labels = AdversarialLabels();
+  OctInput input(labels.size() + 1);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    input.Add(ItemSet({static_cast<ItemId>(i)}), 1.0 + i, labels[i]);
+  }
+  const std::string text = SerializeInput(input);
+  auto parsed = ParseInput(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_sets(), labels.size());
+  for (SetId q = 0; q < parsed->num_sets(); ++q) {
+    EXPECT_EQ(parsed->set(q).label, labels[q]) << "set " << q;
+    EXPECT_EQ(parsed->set(q).items, input.set(q).items);
+  }
+  // Second trip is a fixpoint: serialize(parse(serialize(x))) == serialize(x).
+  EXPECT_EQ(SerializeInput(*parsed), text);
+}
+
+TEST(TreeSerialization, PropertyAdversarialLabelsRoundTrip) {
+  const auto labels = AdversarialLabels();
+  CategoryTree tree;
+  NodeId parent = tree.root();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    // Alternate chain/fan-out so both deep and wide shapes are exercised.
+    const NodeId node = tree.AddCategory(
+        i % 2 == 0 ? parent : tree.root(), labels[i]);
+    tree.AssignItem(node, static_cast<ItemId>(i));
+    if (i % 2 == 0) parent = node;
+  }
+  const std::string text = SerializeTree(tree);
+  auto parsed = ParseTree(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->NumCategories(), tree.NumCategories());
+  // Every adversarial label survives on some alive node.
+  for (const std::string& label : labels) {
+    bool found = false;
+    for (NodeId id : parsed->PreOrder()) {
+      if (parsed->node(id).label == label) found = true;
+    }
+    EXPECT_TRUE(found) << "label lost: '" << label << "'";
+  }
+  EXPECT_EQ(SerializeTree(*parsed), text);
+}
+
 TEST(InputSerialization, RejectsGarbage) {
   EXPECT_FALSE(ParseInput("").ok());
   EXPECT_FALSE(ParseInput("wrong header\n").ok());

@@ -1,0 +1,183 @@
+// Thread-stress tests for the serving stack, designed to run under
+// ThreadSanitizer (tools/run_tsan.sh): N reader threads hammer
+// TreeStore::Current() and snapshot lookups while publishes, rollbacks,
+// diffs, and background rebuilds run concurrently. The invariants checked:
+//   - readers never crash or observe a torn snapshot,
+//   - versions observed by any single reader are monotonically
+//     non-decreasing (publish is a single atomic swap),
+//   - a snapshot held across publishes keeps answering lookups
+//     (zero-downtime semantics).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "paper_inputs.h"
+#include "serve/rebuild_scheduler.h"
+#include "serve/serve_stats.h"
+#include "serve/tree_store.h"
+
+namespace oct {
+namespace serve {
+namespace {
+
+/// A small tree whose content encodes `round` so readers can check
+/// version/content consistency: category "round" holds item `round`.
+CategoryTree TreeForRound(uint32_t round) {
+  CategoryTree tree;
+  const NodeId marker = tree.AddCategory(tree.root(), "round");
+  tree.AssignItem(marker, round);
+  const NodeId other = tree.AddCategory(tree.root(), "stable");
+  tree.AssignItem(other, 1000);
+  return tree;
+}
+
+TEST(ServeStress, ReadersNeverBlockOrTearAcrossPublishes) {
+  constexpr size_t kReaders = 4;
+  constexpr uint32_t kPublishes = 200;
+
+  TreeStore store(/*retain=*/3);
+  store.Publish(TreeForRound(0), "round 0");
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> started{0};
+  std::atomic<uint64_t> total_lookups{0};
+  std::vector<std::thread> readers;
+  std::vector<std::atomic<bool>> ok(kReaders);
+  for (auto& flag : ok) flag.store(true);
+
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      started.fetch_add(1);
+      TreeVersion last_version = 0;
+      uint64_t lookups = 0;
+      // do-while: at least one lookup per reader even if the publisher
+      // finishes before this thread is first scheduled (single-core CI).
+      do {
+        const auto snap = store.Current();
+        if (snap == nullptr) continue;
+        // Monotone versions: the swap is a single atomic store.
+        if (snap->version() < last_version) ok[r].store(false);
+        last_version = snap->version();
+        // Content consistency: the marker item of round i is item i, and
+        // every snapshot carries the stable item.
+        const NodeId marker = snap->FindLabel("round");
+        if (marker == kInvalidNode ||
+            snap->SubtreeItemCount(snap->tree().root()) != 2 ||
+            !snap->Contains(1000)) {
+          ok[r].store(false);
+        }
+        ++lookups;
+      } while (!done.load(std::memory_order_acquire));
+      total_lookups.fetch_add(lookups);
+    });
+  }
+  // Hold publishing until every reader is up so reads and writes genuinely
+  // overlap (a single-core scheduler can otherwise run them sequentially).
+  while (started.load() < kReaders) std::this_thread::yield();
+
+  // Publisher: versions churn while readers run; occasionally exercise the
+  // operator surfaces (diff, rollback, retained listing) concurrently too.
+  for (uint32_t round = 1; round <= kPublishes; ++round) {
+    store.Publish(TreeForRound(round), "round " + std::to_string(round));
+    if (round % 16 == 0) {
+      const auto versions = store.RetainedVersions();
+      ASSERT_GE(versions.size(), 2u);
+      const auto diff =
+          store.Diff(versions.front().version, versions.back().version);
+      EXPECT_TRUE(diff.ok());
+    }
+    if (round % 64 == 0) {
+      EXPECT_TRUE(store.Rollback(store.CurrentVersion()).ok());
+    }
+  }
+
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  for (size_t r = 0; r < kReaders; ++r) {
+    EXPECT_TRUE(ok[r].load()) << "reader " << r << " saw an inconsistency";
+  }
+  EXPECT_GT(total_lookups.load(), 0u);
+  EXPECT_GE(store.CurrentVersion(), kPublishes);
+}
+
+TEST(ServeStress, HeldSnapshotOutlivesManyPublishes) {
+  TreeStore store(/*retain=*/2);
+  store.Publish(TreeForRound(0), "round 0");
+  const auto held = store.Current();
+
+  std::thread publisher([&] {
+    for (uint32_t round = 1; round <= 100; ++round) {
+      store.Publish(TreeForRound(round), "");
+    }
+  });
+  // Concurrent reads against the held (soon-evicted) snapshot.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(held->Contains(0));
+    ASSERT_TRUE(held->Contains(1000));
+    ASSERT_EQ(held->version(), 1u);
+  }
+  publisher.join();
+  EXPECT_EQ(store.Version(1), nullptr);  // Evicted from history...
+  EXPECT_TRUE(held->Contains(0));        // ...but alive while referenced.
+}
+
+TEST(ServeStress, ReadersProceedDuringBackgroundRebuilds) {
+  using testing_inputs::Figure2Input;
+
+  data::Dataset dataset;
+  TreeStore store;
+  ServeStats stats;
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  ThreadPool pool(2);
+  RebuildScheduler scheduler(&store, &stats, &dataset, sim, {}, &pool);
+  scheduler.RebuildNow(Figure2Input());
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> started{0};
+  std::atomic<uint64_t> lookups{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      started.fetch_add(1);
+      // do-while: at least one pass per reader even if every rebuild round
+      // completes before this thread is first scheduled (loaded 1-core CI).
+      do {
+        const auto snap = store.Current();
+        for (ItemId item = 0; item < 20; ++item) {
+          stats.RecordItemLookup(snap->Contains(item));
+        }
+        lookups.fetch_add(20);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  // Rebuilds wait for all readers to be live so they genuinely overlap.
+  while (started.load() < readers.size()) std::this_thread::yield();
+
+  // Alternate between two drifting distributions so every other batch
+  // triggers a real background rebuild while the readers spin.
+  OctInput drift_a(20);
+  drift_a.Add(ItemSet({10, 11, 12}), 2.0, "joggers");
+  drift_a.Add(ItemSet({13, 14, 15, 16}), 1.0, "windbreakers");
+  for (int round = 0; round < 6; ++round) {
+    const OctInput& batch = (round % 2 == 0) ? drift_a : Figure2Input();
+    scheduler.OfferBatch(batch);
+    scheduler.WaitForRebuild();
+  }
+
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(lookups.load(), 0u);
+  EXPECT_GT(store.CurrentVersion(), 1u);  // Rebuilds actually published.
+  const auto s = stats.Snapshot();
+  EXPECT_EQ(s.item_lookups, lookups.load());
+  EXPECT_GE(s.rebuilds_triggered, 2u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace oct

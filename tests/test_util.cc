@@ -142,6 +142,30 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   EXPECT_FALSE(ran);
 }
 
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitFromWithinPoolTaskDoesNotDeadlockWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      // Chained submission from inside a running task: WaitIdle must keep
+      // waiting for the grandchild tasks too.
+      pool.Submit([&] { count.fetch_add(1); });
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 32);
+}
+
 TEST(TableWriter, AlignedOutputContainsCells) {
   TableWriter t({"algo", "score"});
   t.AddRow({"CTCR", "0.91"});
