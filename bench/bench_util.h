@@ -1,23 +1,116 @@
 // Shared helpers for the figure/table benches: delta sweeps over the five
 // algorithms, with aligned-table output matching the series the paper
 // plots.
+//
+// Every bench that goes through PrintHeader/Sweep* also participates in
+// structured output for free:
+//   OCT_BENCH_JSON=<path>  write a per-run JSON report (tables + metrics +
+//                          span aggregates) at process exit
+//   OCT_TRACE=<path>       enable span tracing and write a Chrome-trace
+//                          (chrome://tracing / Perfetto) file at exit
 
 #ifndef OCT_BENCH_BENCH_UTIL_H_
 #define OCT_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/datasets.h"
 #include "eval/harness.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/table_writer.h"
 
 namespace oct {
 namespace bench {
 
+/// Collects the tables a bench prints and, when OCT_BENCH_JSON / OCT_TRACE
+/// are set, writes the structured report(s) at exit. Meyers singleton;
+/// PrintHeader registers the atexit hook.
+class BenchReport {
+ public:
+  static BenchReport& Get() {
+    static BenchReport report;
+    return report;
+  }
+
+  void SetName(const std::string& name) {
+    if (name_.empty()) name_ = name;
+  }
+
+  /// Stores a table's rows (as JSON) under `title`; repeated titles (one
+  /// sweep per dataset, say) get a numeric suffix to keep JSON keys unique.
+  void AddTable(const std::string& title, const TableWriter& table) {
+    std::string key = title;
+    int n = 1;
+    while (HasTable(key)) key = title + "_" + std::to_string(++n);
+    tables_.emplace_back(std::move(key), table.ToJson());
+  }
+
+  /// Installs the exit hook once and enables tracing when OCT_TRACE is set.
+  void Init() {
+    if (initialized_) return;
+    initialized_ = true;
+    if (std::getenv("OCT_TRACE") != nullptr) {
+      obs::SetTracingEnabled(true);
+    }
+    std::atexit([] { BenchReport::Get().WriteIfRequested(); });
+  }
+
+  void WriteIfRequested() {
+    const char* trace_path = std::getenv("OCT_TRACE");
+    std::vector<obs::SpanEvent> spans;
+    if (trace_path != nullptr || std::getenv("OCT_BENCH_JSON") != nullptr) {
+      spans = obs::CollectSpans();
+    }
+    if (trace_path != nullptr) {
+      const Status st = obs::WriteStringToFile(
+          trace_path, obs::SpansToChromeTrace(spans));
+      if (!st.ok()) {
+        std::fprintf(stderr, "OCT_TRACE: %s\n", st.ToString().c_str());
+      }
+    }
+    const char* json_path = std::getenv("OCT_BENCH_JSON");
+    if (json_path == nullptr) return;
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_.empty() ? "unnamed" : name_);
+    w.Key("scale").Double(data::BenchScale());
+    w.Key("tables").BeginObject();
+    for (const auto& [title, json] : tables_) {
+      w.Key(title).Raw(json);
+    }
+    w.EndObject();
+    w.Key("metrics").Raw(obs::MetricsToJson(*obs::MetricsRegistry::Default()));
+    w.Key("spans").Raw(obs::SpansToJson(spans));
+    w.EndObject();
+    const Status st = obs::WriteStringToFile(json_path, w.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "OCT_BENCH_JSON: %s\n", st.ToString().c_str());
+    }
+  }
+
+ private:
+  BenchReport() = default;
+  bool HasTable(const std::string& key) const {
+    for (const auto& [title, json] : tables_) {
+      if (title == key) return true;
+    }
+    return false;
+  }
+  bool initialized_ = false;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> tables_;
+};
+
 /// Prints a standard bench header with the dataset shape and scale.
 inline void PrintHeader(const std::string& title, const data::Dataset& ds) {
+  BenchReport::Get().SetName(title);
+  BenchReport::Get().Init();
   std::printf("=== %s ===\n", title.c_str());
   std::printf(
       "dataset %s: %zu items, %zu candidate sets (scale %.3g; set "
@@ -44,6 +137,7 @@ inline void SweepAllAlgorithms(const data::Dataset& ds, Variant variant,
     }
     table.AddRow(std::move(row));
   }
+  BenchReport::Get().AddTable("all_algorithms_delta_sweep", table);
   std::printf("%s\n", table.ToAligned().c_str());
 }
 
@@ -60,6 +154,7 @@ inline void SweepCtcr(const data::Dataset& ds, Variant variant,
                   std::to_string(run.score.num_covered),
                   std::to_string(run.num_categories)});
   }
+  BenchReport::Get().AddTable("ctcr_delta_sweep", table);
   std::printf("%s\n", table.ToAligned().c_str());
 }
 

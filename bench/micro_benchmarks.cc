@@ -1,8 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the hot paths: ItemSet
 // intersection counting, conflict enumeration, the MIS solver stack, tree
 // scoring, and agglomerative clustering.
+//
+// Structured output:
+//   OCT_BENCH_JSON=<path>  dump the default metrics registry (pipeline
+//                          counters + latency histograms populated by the
+//                          instrumented code under benchmark) as JSON
+//   OCT_TRACE=<path>       record trace spans and write a Chrome-trace file
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "cct/agglomerative.h"
 #include "cct/embedding.h"
@@ -12,6 +21,9 @@
 #include "mis/greedy.h"
 #include "mis/local_search.h"
 #include "mis/solver.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -148,4 +160,40 @@ BENCHMARK(BM_AgglomerativeClustering)
     ->Arg(800)
     ->Unit(benchmark::kMillisecond);
 
+void WriteStructuredReports() {
+  const char* trace_path = std::getenv("OCT_TRACE");
+  if (trace_path != nullptr) {
+    const Status st = obs::WriteStringToFile(
+        trace_path, obs::SpansToChromeTrace(obs::CollectSpans()));
+    if (!st.ok()) {
+      std::fprintf(stderr, "OCT_TRACE: %s\n", st.ToString().c_str());
+    }
+  }
+  const char* json_path = std::getenv("OCT_BENCH_JSON");
+  if (json_path == nullptr) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("micro_benchmarks");
+  w.Key("metrics").Raw(obs::MetricsToJson(*obs::MetricsRegistry::Default()));
+  w.EndObject();
+  const Status st = obs::WriteStringToFile(json_path, w.str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "OCT_BENCH_JSON: %s\n", st.ToString().c_str());
+  }
+}
+
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the instrumented library's
+// metrics and spans can be exported after the benchmark run.
+int main(int argc, char** argv) {
+  if (std::getenv("OCT_TRACE") != nullptr) {
+    oct::obs::SetTracingEnabled(true);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteStructuredReports();
+  return 0;
+}

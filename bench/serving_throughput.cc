@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "serve/rebuild_scheduler.h"
 #include "serve/serve_stats.h"
 #include "serve/tree_store.h"
@@ -111,12 +112,15 @@ PhaseResult RunPhase(serve::TreeStore& store, serve::ServeStats& stats,
   PhaseResult result;
   result.seconds = phase.ElapsedSeconds();
   result.publishes = publishes;
+  static obs::Histogram* lookup_us =
+      obs::MetricsRegistry::Default()->GetHistogram("bench.lookup_us");
   std::vector<double> all;
   for (size_t r = 0; r < readers; ++r) {
     result.lookups += lookups[r];
     result.versions_observed += version_bumps[r];
     all.insert(all.end(), latencies[r].begin(), latencies[r].end());
   }
+  for (double us : all) lookup_us->Record(us);
   std::sort(all.begin(), all.end());
   if (!all.empty()) {
     result.p50_micros = all[all.size() / 2];
@@ -188,6 +192,7 @@ int main() {
   };
   row("read-only", baseline);
   row("reads + concurrent rebuilds", contended);
+  bench::BenchReport::Get().AddTable("serving_phases", table);
   std::printf("%s\n", table.ToAligned().c_str());
 
   if (contended.publishes == 0) {

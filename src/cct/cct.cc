@@ -5,6 +5,8 @@
 #include "cct/embedding.h"
 #include "core/scoring.h"
 #include "core/tree_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -56,25 +58,45 @@ CategoryTree TreeFromDendrogram(const OctInput& input,
 CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
                             const CctOptions& options) {
   OCT_CHECK(input.Validate().ok()) << input.Validate().ToString();
+  OCT_SPAN("cct/build_category_tree");
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Default()->GetCounter("cct.runs");
+  static obs::Histogram* embed_us =
+      obs::MetricsRegistry::Default()->GetHistogram("cct.embed_us");
+  static obs::Histogram* cluster_us =
+      obs::MetricsRegistry::Default()->GetHistogram("cct.cluster_us");
+  static obs::Histogram* assign_us =
+      obs::MetricsRegistry::Default()->GetHistogram("cct.assign_us");
+  runs->Increment();
   CctResult result;
   const size_t n = input.num_sets();
 
   // Line 1: embeddings.
   Timer timer;
-  const Embeddings emb = EmbedInputSets(input, sim);
+  Embeddings emb;
+  {
+    OCT_SPAN("cct/embed");
+    emb = EmbedInputSets(input, sim);
+  }
   result.seconds_embed = timer.ElapsedSeconds();
+  embed_us->Record(result.seconds_embed * 1e6);
 
   // Lines 2-3: dendrogram -> tree template.
   timer.Reset();
-  const Dendrogram dendro = AgglomerativeCluster(
-      n, [&](size_t a, size_t b) { return emb.Distance(a, b); },
-      options.linkage);
   std::vector<NodeId> cat_of;
-  result.tree = TreeFromDendrogram(input, dendro, &cat_of);
+  {
+    OCT_SPAN("cct/cluster");
+    const Dendrogram dendro = AgglomerativeCluster(
+        n, [&](size_t a, size_t b) { return emb.Distance(a, b); },
+        options.linkage);
+    result.tree = TreeFromDendrogram(input, dendro, &cat_of);
+  }
   result.seconds_cluster = timer.ElapsedSeconds();
+  cluster_us->Record(result.seconds_cluster * 1e6);
 
   // Line 4: Algorithm 2 over all input sets (items land in leaf categories).
   timer.Reset();
+  OCT_SPAN("cct/assign_items");
   AssignItemsOptions assign;
   assign.target_sets.resize(n);
   for (SetId q = 0; q < n; ++q) assign.target_sets[q] = q;
@@ -88,6 +110,7 @@ CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   AddMiscCategory(input, &result.tree);
   AnnotateCoveredSets(input, sim, &result.tree);
   result.seconds_assign = timer.ElapsedSeconds();
+  assign_us->Record(result.seconds_assign * 1e6);
   OCT_DCHECK(result.tree.ValidateModel(input).ok())
       << result.tree.ValidateModel(input).ToString();
   return result;

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace oct {
@@ -63,6 +65,7 @@ PairStats MakeStats(const OctInput& input, const ConflictAnalysis& analysis,
 
 ConflictAnalysis AnalyzeConflicts(const OctInput& input, const Similarity& sim,
                                   bool find_3conflicts, ThreadPool* pool) {
+  OCT_SPAN("ctcr/analyze_conflicts");
   const size_t n = input.num_sets();
   ConflictAnalysis analysis;
 
@@ -91,6 +94,8 @@ ConflictAnalysis AnalyzeConflicts(const OctInput& input, const Similarity& sim,
   std::vector<std::pair<SetId, SetId>> conflicts2;
   std::vector<std::pair<SetId, SetId>> must_pairs;
   size_t pairs_examined = 0;
+  {
+  OCT_SPAN("ctcr/scan_pairs");
   pool->ParallelFor(n, [&](size_t begin, size_t end) {
     std::vector<uint32_t> inter_buf(n, 0);
     std::vector<uint32_t> strict_buf(n, 0);
@@ -122,7 +127,11 @@ ConflictAnalysis AnalyzeConflicts(const OctInput& input, const Similarity& sim,
     must_pairs.insert(must_pairs.end(), local_must.begin(), local_must.end());
     pairs_examined += local_pairs;
   });
+  }
   analysis.pairs_examined = pairs_examined;
+  static obs::Counter* pairs_counter =
+      obs::MetricsRegistry::Default()->GetCounter("ctcr.pairs_examined");
+  pairs_counter->Increment(pairs_examined);
   std::sort(conflicts2.begin(), conflicts2.end());
   analysis.conflicts2 = std::move(conflicts2);
   for (const auto& [a, b] : analysis.conflicts2) {
@@ -138,6 +147,7 @@ ConflictAnalysis AnalyzeConflicts(const OctInput& input, const Similarity& sim,
 
   if (!find_3conflicts) return analysis;
 
+  OCT_SPAN("ctcr/conflicts3");
   // 3-conflicts (Section 3.2): for every middle set q2 with must-together
   // partners q1, q3 where q2 is not the lowest-ranking of the three, the
   // triple conflicts unless {q1, q3} must also be covered together (or is

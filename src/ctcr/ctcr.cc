@@ -5,6 +5,8 @@
 
 #include "core/scoring.h"
 #include "core/tree_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -47,6 +49,21 @@ std::string CategoryLabel(const OctInput& input, SetId q) {
 CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
                              const CtcrOptions& options) {
   OCT_CHECK(input.Validate().ok()) << input.Validate().ToString();
+  OCT_SPAN("ctcr/build_category_tree");
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Default()->GetCounter("ctcr.runs");
+  static obs::Counter* conflicts2_total =
+      obs::MetricsRegistry::Default()->GetCounter("ctcr.conflicts2");
+  static obs::Counter* conflicts3_total =
+      obs::MetricsRegistry::Default()->GetCounter("ctcr.conflicts3");
+  static obs::Histogram* conflicts_us =
+      obs::MetricsRegistry::Default()->GetHistogram("ctcr.conflicts_us");
+  static obs::Histogram* mis_us =
+      obs::MetricsRegistry::Default()->GetHistogram("ctcr.mis_us");
+  static obs::Histogram* build_us =
+      obs::MetricsRegistry::Default()->GetHistogram("ctcr.build_us");
+  runs->Increment();
+
   CtcrResult result;
   const size_t n = input.num_sets();
   const bool general = UsesThresholdBelowOne(input, sim);
@@ -56,10 +73,15 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   result.analysis = AnalyzeConflicts(input, sim, /*find_3conflicts=*/general,
                                      options.pool);
   result.seconds_conflicts = timer.ElapsedSeconds();
+  conflicts_us->Record(result.seconds_conflicts * 1e6);
+  conflicts2_total->Increment(result.analysis.conflicts2.size());
+  conflicts3_total->Increment(result.analysis.conflicts3.size());
 
   // Line 10: SolveMIS.
   timer.Reset();
   std::vector<SetId> independent;
+  {
+  OCT_SPAN("ctcr/solve_mis");
   if (result.analysis.conflicts3.empty()) {
     mis::Graph graph(n);
     for (SetId q = 0; q < n; ++q) {
@@ -91,11 +113,14 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
     result.mis_optimal = sol.optimal;
     result.independent_set_weight = sol.weight;
   }
+  }
   result.seconds_mis = timer.ElapsedSeconds();
+  mis_us->Record(result.seconds_mis * 1e6);
 
   // Lines 11-15: one category per surviving set; parent = the closest (max
   // rank) must-cover-together predecessor already in the tree.
   timer.Reset();
+  OCT_SPAN("ctcr/construct_tree");
   std::sort(independent.begin(), independent.end(), [&](SetId a, SetId b) {
     return result.analysis.rank[a] < result.analysis.rank[b];
   });
@@ -218,6 +243,7 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   AddMiscCategory(input, &tree);
   AnnotateCoveredSets(input, sim, &tree);
   result.seconds_build = timer.ElapsedSeconds();
+  build_us->Record(result.seconds_build * 1e6);
   OCT_DCHECK(tree.ValidateModel(input).ok())
       << tree.ValidateModel(input).ToString();
   return result;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/scoring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace oct {
@@ -12,6 +14,9 @@ ReemployResult ReemployWithReducedThresholds(const OctInput& input,
                                              const Similarity& sim,
                                              const ReemployOptions& options) {
   OCT_CHECK_GT(options.max_rounds, 0u);
+  OCT_SPAN("ctcr/reemploy");
+  static obs::Counter* rounds_counter =
+      obs::MetricsRegistry::Default()->GetCounter("ctcr.reemploy_rounds");
   ReemployResult result;
   result.adjusted_input = input;
   OctInput original = input;  // Original weights for comparable scoring.
@@ -54,6 +59,7 @@ ReemployResult ReemployWithReducedThresholds(const OctInput& input,
     }
     if (!any_change) break;  // Thresholds bottomed out; further runs futile.
   }
+  rounds_counter->Increment(result.rounds);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace oct {
@@ -104,23 +106,32 @@ OctInput BuildOctInput(const SearchEngine& engine,
                        const Similarity& sim,
                        const PreprocessOptions& options,
                        PreprocessStats* stats) {
+  OCT_SPAN("data/build_oct_input");
+  static obs::Counter* raw_queries_counter =
+      obs::MetricsRegistry::Default()->GetCounter("data.raw_queries");
+  static obs::Counter* kept_sets_counter =
+      obs::MetricsRegistry::Default()->GetCounter("data.kept_sets");
   PreprocessStats local;
   local.raw_queries = log.size();
+  raw_queries_counter->Increment(log.size());
 
   // Top-level existing-tree subtree per item (for the scatter filter).
   const size_t universe = engine.catalog().num_items();
   std::vector<NodeId> placement(universe, kInvalidNode);
-  for (NodeId id = 0; id < existing_tree.num_nodes(); ++id) {
-    if (!existing_tree.IsAlive(id)) continue;
-    // Walk up to the child of the root.
-    NodeId top = id;
-    while (top != existing_tree.root() &&
-           existing_tree.node(top).parent != existing_tree.root() &&
-           existing_tree.node(top).parent != kInvalidNode) {
-      top = existing_tree.node(top).parent;
-    }
-    for (ItemId item : existing_tree.node(id).direct_items) {
-      if (item < universe) placement[item] = top;
+  {
+    OCT_SPAN("data/placement_map");
+    for (NodeId id = 0; id < existing_tree.num_nodes(); ++id) {
+      if (!existing_tree.IsAlive(id)) continue;
+      // Walk up to the child of the root.
+      NodeId top = id;
+      while (top != existing_tree.root() &&
+             existing_tree.node(top).parent != existing_tree.root() &&
+             existing_tree.node(top).parent != kInvalidNode) {
+        top = existing_tree.node(top).parent;
+      }
+      for (ItemId item : existing_tree.node(id).direct_items) {
+        if (item < universe) placement[item] = top;
+      }
     }
   }
 
@@ -138,33 +149,38 @@ OctInput BuildOctInput(const SearchEngine& engine,
   // Stage 2 + 1b: result sets, then the branch-scatter filter.
   std::vector<CandidateSet> sets;
   sets.reserve(frequent.size());
-  for (const LoggedQuery* lq : frequent) {
-    ItemSet result =
-        engine.ResultSet(lq->query, options.relevance_threshold);
-    if (result.empty()) {
-      ++local.empty_result_sets;
-      continue;
+  {
+    OCT_SPAN("data/result_sets");
+    for (const LoggedQuery* lq : frequent) {
+      ItemSet result =
+          engine.ResultSet(lq->query, options.relevance_threshold);
+      if (result.empty()) {
+        ++local.empty_result_sets;
+        continue;
+      }
+      if (BranchSpread(placement, result) > options.max_existing_branches) {
+        continue;
+      }
+      CandidateSet cs;
+      cs.items = std::move(result);
+      cs.weight = options.uniform_weights
+                      ? 1.0
+                      : (options.recent_window_only
+                             ? lq->AverageDailyRecent(options.window_days)
+                             : lq->AverageDaily());
+      cs.label = lq->query.Text(engine.catalog());
+      sets.push_back(std::move(cs));
     }
-    if (BranchSpread(placement, result) > options.max_existing_branches) {
-      continue;
-    }
-    CandidateSet cs;
-    cs.items = std::move(result);
-    cs.weight = options.uniform_weights
-                    ? 1.0
-                    : (options.recent_window_only
-                           ? lq->AverageDailyRecent(options.window_days)
-                           : lq->AverageDaily());
-    cs.label = lq->query.Text(engine.catalog());
-    sets.push_back(std::move(cs));
   }
   local.after_scatter_filter = sets.size();
 
   // Stage 4: merge near-duplicate result sets.
   if (options.merge_similar) {
+    OCT_SPAN("data/merge_similar_sets");
     MergeSimilarSets(sim, options.merge_passes, &sets);
   }
   local.after_merge = sets.size();
+  kept_sets_counter->Increment(sets.size());
 
   OctInput input(universe);
   for (auto& cs : sets) input.Add(std::move(cs));

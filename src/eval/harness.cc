@@ -4,6 +4,8 @@
 #include "baselines/ic_s.h"
 #include "cct/cct.h"
 #include "ctcr/ctcr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -57,12 +59,23 @@ CategoryTree BuildTree(Algorithm algo, const data::Dataset& dataset,
 
 AlgoRun RunAlgorithm(Algorithm algo, const data::Dataset& dataset,
                      const OctInput& input, const Similarity& sim) {
+  OCT_SPAN("eval/run_algorithm");
+  static obs::Histogram* build_us =
+      obs::MetricsRegistry::Default()->GetHistogram("eval.build_us");
   AlgoRun run;
   run.algo = algo;
   Timer timer;
-  const CategoryTree tree = BuildTree(algo, dataset, input, sim);
+  CategoryTree tree;
+  {
+    OCT_SPAN("eval/build_tree");
+    tree = BuildTree(algo, dataset, input, sim);
+  }
   run.seconds = timer.ElapsedSeconds();
-  run.score = ScoreTree(input, tree, sim);
+  build_us->Record(run.seconds * 1e6);
+  {
+    OCT_SPAN("eval/score_tree");
+    run.score = ScoreTree(input, tree, sim);
+  }
   run.num_categories = tree.NumCategories();
   return run;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -163,6 +165,13 @@ class ExactHg {
 
 MisSolution SolveHypergraphMis(const Hypergraph& hypergraph,
                                const HypergraphSolverOptions& options) {
+  OCT_SPAN("mis/solve_hypergraph");
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  static obs::Counter* hg_exact_solves =
+      reg->GetCounter("mis.hg_exact_solves");
+  static obs::Counter* hg_greedy_solves =
+      reg->GetCounter("mis.hg_greedy_solves");
+  static obs::Counter* hg_swap_rounds = reg->GetCounter("mis.hg_swap_rounds");
   const size_t n = hypergraph.num_vertices();
   if (n == 0) {
     MisSolution empty;
@@ -175,15 +184,20 @@ MisSolution SolveHypergraphMis(const Hypergraph& hypergraph,
     if (hypergraph.Degree(v) > 0) ++touched;
   }
   if (touched <= options.exact_vertex_limit) {
+    hg_exact_solves->Increment();
     ExactHg exact(hypergraph, options.max_nodes);
     MisSolution sol = exact.Solve();
     OCT_DCHECK(hypergraph.IsIndependentSet(sol.vertices));
     return sol;
   }
+  hg_greedy_solves->Increment();
   std::vector<char> in = GreedySelect(hypergraph);
+  size_t rounds_run = 0;
   for (size_t round = 0; round < options.swap_rounds; ++round) {
+    ++rounds_run;
     if (!SwapPass(hypergraph, &in)) break;
   }
+  hg_swap_rounds->Increment(rounds_run);
   MisSolution sol = ToSolution(hypergraph, in);
   sol.optimal = hypergraph.num_edges() == 0;
   OCT_DCHECK(hypergraph.IsIndependentSet(sol.vertices));

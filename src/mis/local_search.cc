@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace oct {
@@ -52,6 +54,7 @@ MisSolution ToSolution(const Graph& graph, const std::vector<char>& in_set) {
 MisSolution LocalSearchImprove(const Graph& graph, const MisSolution& initial,
                                const LocalSearchOptions& options) {
   OCT_DCHECK(graph.IsIndependentSet(initial.vertices));
+  OCT_SPAN("mis/local_search");
   const size_t n = graph.num_vertices();
   std::vector<char> in_set(n, 0);
   double weight = 0.0;
@@ -59,13 +62,19 @@ MisSolution LocalSearchImprove(const Graph& graph, const MisSolution& initial,
     in_set[v] = 1;
     weight += graph.weight(v);
   }
+  // Metrics are tallied locally and flushed once: the swap loop is the
+  // solver's hot path.
+  uint64_t passes = 0;
   while (SwapPass(graph, &in_set, &weight)) {
+    ++passes;
   }
   std::vector<char> best_set = in_set;
   double best_weight = weight;
 
+  uint64_t rounds_run = 0;
   Rng rng(options.seed);
   for (size_t round = 0; round < options.rounds && n > 0; ++round) {
+    ++rounds_run;
     // Perturb: force a few random vertices in, evicting their neighbors.
     for (size_t p = 0; p < options.perturbation; ++p) {
       const VertexId v = static_cast<VertexId>(rng.NextBelow(n));
@@ -80,6 +89,7 @@ MisSolution LocalSearchImprove(const Graph& graph, const MisSolution& initial,
       weight += graph.weight(v);
     }
     while (SwapPass(graph, &in_set, &weight)) {
+      ++passes;
     }
     if (weight > best_weight) {
       best_weight = weight;
@@ -89,6 +99,12 @@ MisSolution LocalSearchImprove(const Graph& graph, const MisSolution& initial,
       weight = best_weight;
     }
   }
+  static obs::Counter* pass_counter =
+      obs::MetricsRegistry::Default()->GetCounter("mis.local_search_passes");
+  static obs::Counter* round_counter =
+      obs::MetricsRegistry::Default()->GetCounter("mis.local_search_rounds");
+  pass_counter->Increment(passes);
+  round_counter->Increment(rounds_run);
   MisSolution sol = ToSolution(graph, best_set);
   OCT_DCHECK(graph.IsIndependentSet(sol.vertices));
   return sol;

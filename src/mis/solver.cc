@@ -1,28 +1,51 @@
 #include "mis/solver.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "mis/greedy.h"
 #include "mis/kernelizer.h"
 #include "mis/local_search.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace oct {
 namespace mis {
 
 MisSolution SolveMis(const Graph& graph, const MisOptions& options) {
+  OCT_SPAN("mis/solve");
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  static obs::Counter* kernel_taken = reg->GetCounter("mis.kernel_taken");
+  static obs::Counter* kernel_folded = reg->GetCounter("mis.kernel_folded");
+  static obs::Counter* kernel_dominated =
+      reg->GetCounter("mis.kernel_dominated");
+  static obs::Counter* exact_solves = reg->GetCounter("mis.exact_solves");
+  static obs::Counter* ls_improves =
+      reg->GetCounter("mis.local_search_improves");
+
   // Phase 1: kernelize (neighborhood removal, degree-1 folds, domination).
-  const Kernelizer kernelizer(graph);
+  std::unique_ptr<Kernelizer> kernelizer_holder;
+  {
+    OCT_SPAN("mis/kernelize");
+    kernelizer_holder = std::make_unique<Kernelizer>(graph);
+  }
+  const Kernelizer& kernelizer = *kernelizer_holder;
   const Graph& kernel = kernelizer.kernel();
+  kernel_taken->Increment(kernelizer.num_taken());
+  kernel_folded->Increment(kernelizer.num_folded());
+  kernel_dominated->Increment(kernelizer.num_dominated());
 
   // Phase 2: solve the kernel.
   MisSolution kernel_sol;
   kernel_sol.optimal = true;
   if (kernel.num_vertices() > 0) {
+    OCT_SPAN("mis/solve_kernel");
     if (kernel.num_vertices() <= options.exact_kernel_limit) {
       ExactOptions exact;
       exact.max_nodes = options.max_nodes;
       kernel_sol = SolveExact(kernel, exact);
+      exact_solves->Increment();
     } else {
       kernel_sol.optimal = false;
     }
@@ -36,6 +59,7 @@ MisSolution SolveMis(const Graph& graph, const MisOptions& options) {
         const bool was_optimal = kernel_sol.optimal;
         kernel_sol = improved;
         kernel_sol.optimal = was_optimal;
+        ls_improves->Increment();
       }
     }
   }

@@ -1,0 +1,293 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace oct {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Comma (if any) was written with the key.
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  has_element_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  has_element_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void WriteHistogram(JsonWriter* w, const HistogramSnapshot& snap) {
+  w->BeginObject();
+  w->Key("count").Uint(snap.count);
+  w->Key("sum").Double(snap.sum);
+  w->Key("min").Double(snap.min);
+  w->Key("max").Double(snap.max);
+  w->Key("mean").Double(snap.Mean());
+  w->Key("p50").Double(snap.p50);
+  w->Key("p95").Double(snap.p95);
+  w->Key("p99").Double(snap.p99);
+  w->Key("buckets").BeginArray();
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] == 0) continue;
+    w->BeginObject();
+    w->Key("le").Double(Histogram::BucketUpperBound(i));
+    w->Key("count").Uint(snap.buckets[i]);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : registry.CounterValues()) {
+    w.Key(name).Uint(value);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    w.Key(name).Int(value);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, snap] : registry.HistogramValues()) {
+    w.Key(name);
+    WriteHistogram(&w, snap);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// Span export
+// ---------------------------------------------------------------------------
+
+std::string SpansToChromeTrace(const std::vector<SpanEvent>& events) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const SpanEvent& e : events) {
+    w.BeginObject();
+    w.Key("name").String(e.name == nullptr ? "?" : e.name);
+    w.Key("ph").String("X");
+    w.Key("cat").String("oct");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(static_cast<int64_t>(e.thread_id));
+    w.Key("ts").Double(static_cast<double>(e.start_ns) * 1e-3);
+    w.Key("dur").Double(e.DurationMicros());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::vector<SpanAggregate> AggregateSpans(
+    const std::vector<SpanEvent>& events) {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanEvent& e : events) {
+    if (e.name == nullptr) continue;
+    SpanAggregate& agg = by_name[e.name];
+    if (agg.count == 0) agg.name = e.name;
+    ++agg.count;
+    agg.total_ns += e.end_ns - e.start_ns;
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  std::sort(out.begin(), out.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string SpansToJson(const std::vector<SpanEvent>& events) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const SpanAggregate& agg : AggregateSpans(events)) {
+    w.BeginObject();
+    w.Key("name").String(agg.name);
+    w.Key("count").Uint(agg.count);
+    w.Key("total_ms").Double(agg.TotalMillis());
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+double SpanTreeCoverage(const std::vector<SpanEvent>& events,
+                        const char* root_name) {
+  const SpanEvent* root = nullptr;
+  for (const SpanEvent& e : events) {
+    if (e.name != nullptr && std::string_view(e.name) == root_name) {
+      root = &e;
+      break;
+    }
+  }
+  if (root == nullptr || root->end_ns <= root->start_ns) return 0.0;
+  uint64_t covered_ns = 0;
+  for (const SpanEvent& e : events) {
+    if (&e == root) continue;
+    if (e.thread_id != root->thread_id) continue;
+    if (e.depth != root->depth + 1) continue;
+    if (e.start_ns < root->start_ns || e.end_ns > root->end_ns) continue;
+    covered_ns += e.end_ns - e.start_ns;
+  }
+  return static_cast<double>(covered_ns) /
+         static_cast<double>(root->end_ns - root->start_ns);
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("short write to: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace oct

@@ -1,0 +1,95 @@
+// Exporters for obs metrics and trace spans.
+//
+// Two output formats:
+//   - MetricsToJson / SpansToJson: structured JSON for dashboards and the
+//     bench harness (OCT_BENCH_JSON).
+//   - SpansToChromeTrace: Chrome trace event format, loadable in
+//     chrome://tracing or https://ui.perfetto.dev.
+//
+// All functions produce strings; WriteStringToFile handles the (only) IO.
+
+#ifndef OCT_OBS_EXPORT_H_
+#define OCT_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace oct {
+namespace obs {
+
+/// Minimal streaming JSON writer (object/array nesting, escaping, number
+/// formatting). Used by the exporters and by bench_util; not a parser.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& key);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/inf).
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  /// Splices a pre-serialized JSON value verbatim (e.g. a nested document).
+  JsonWriter& Raw(const std::string& json);
+
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(const std::string& s);
+
+ private:
+  void BeforeValue();
+  std::string out_;
+  /// One entry per open container: true while the container already holds at
+  /// least one element (so the next element needs a comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Serializes every metric in `registry` as
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+/// mean,p50,p95,p99,buckets:[{le,count},...]}}}. Empty buckets are omitted.
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+/// Serializes spans in Chrome trace event format ("X" complete events).
+std::string SpansToChromeTrace(const std::vector<SpanEvent>& events);
+
+/// Per-name rollup of a span collection.
+struct SpanAggregate {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+
+  double TotalMillis() const { return static_cast<double>(total_ns) * 1e-6; }
+};
+
+/// Aggregates spans by name, sorted by descending total time.
+std::vector<SpanAggregate> AggregateSpans(const std::vector<SpanEvent>& events);
+
+/// Serializes AggregateSpans(events) as
+/// [{"name":...,"count":...,"total_ms":...},...].
+std::string SpansToJson(const std::vector<SpanEvent>& events);
+
+/// Fraction of the first `root_name` span's duration covered by its direct
+/// children (same thread, depth + 1, inside its time range). Returns 0 when
+/// the root is missing or has zero duration. Used to check that phase spans
+/// account for (nearly) all of a run's wall time.
+double SpanTreeCoverage(const std::vector<SpanEvent>& events,
+                        const char* root_name);
+
+/// Writes `content` to `path`, truncating. Returns a non-OK status on IO
+/// failure.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace oct
+
+#endif  // OCT_OBS_EXPORT_H_

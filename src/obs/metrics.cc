@@ -1,0 +1,217 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace oct {
+namespace obs {
+
+namespace internal {
+
+size_t AssignThreadIndex() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Relaxed fetch_add for atomic<double> (CAS loop; C++20 fetch_add on
+/// floating atomics is not universally lock-free, the loop always is).
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::string name) : name_(std::move(name)) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // Negatives and NaN clamp to bucket 0.
+  const uint64_t truncated = static_cast<uint64_t>(
+      std::min(value, static_cast<double>(std::numeric_limits<int64_t>::max())));
+  // value in [2^(i-1), 2^i) has bit_width i.
+  return std::min<size_t>(std::bit_width(truncated), kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) return;
+  value = std::max(value, 0.0);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(&sum_, value);
+  internal::AtomicMinDouble(&min_, value);
+  internal::AtomicMaxDouble(&max_, value);
+}
+
+double Histogram::Percentile(double p) const {
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double observed_min = min_.load(std::memory_order_relaxed);
+  const double observed_max = max_.load(std::memory_order_relaxed);
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cumulative + counts[i]) >= target) {
+      const double lo = BucketLowerBound(i);
+      // The overflow bucket has no finite upper bound; the observed max is
+      // the tightest one available.
+      const double hi =
+          i + 1 == kNumBuckets ? std::max(observed_max, lo) : BucketUpperBound(i);
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      const double estimate = lo + fraction * (hi - lo);
+      return std::clamp(estimate, observed_min, observed_max);
+    }
+    cumulative += counts[i];
+  }
+  return observed_max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  snap.p50 = Percentile(50.0);
+  snap.p95 = Percentile(95.0);
+  snap.p99 = Percentile(99.0);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter(name));
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge(name));
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(name));
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->Value());
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->Value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->Snapshot());
+  }
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace oct

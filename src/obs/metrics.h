@@ -1,0 +1,185 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket latency
+// histograms for the whole pipeline. Designed so an instrumented hot path
+// costs roughly one cache line of traffic:
+//
+//   - Counter increments go to one of kShards cacheline-aligned shards
+//     (picked by a thread-local id) with a relaxed fetch_add, so concurrent
+//     recorders never contend on a single line.
+//   - Gauges are one relaxed atomic word.
+//   - Histograms use power-of-two buckets; Record() is a bit-scan plus a
+//     relaxed bucket increment (sum/min/max are relaxed CAS loops).
+//
+// Reads (Value()/Snapshot()) sum over shards and are individually exact but
+// not mutually consistent — the dashboard/export contract, same as the old
+// serve::ServeStats. Metric objects are owned by their registry and live as
+// long as it does; instrumentation sites cache the pointer in a function-
+// local static:
+//
+//   static obs::Counter* runs =
+//       obs::MetricsRegistry::Default()->GetCounter("ctcr.runs");
+//   runs->Increment();
+
+#ifndef OCT_OBS_METRICS_H_
+#define OCT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace oct {
+namespace obs {
+
+namespace internal {
+/// Assigns the calling thread's dense id (out of line; called once per
+/// thread).
+size_t AssignThreadIndex();
+
+/// Small dense id of the calling thread. Inline so an instrumented hot
+/// path pays one TLS load, not a function call.
+inline size_t ThreadIndex() {
+  thread_local const size_t index = AssignThreadIndex();
+  return index;
+}
+}  // namespace internal
+
+/// Monotonic counter, sharded to keep concurrent increments off one line.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    shards_[internal::ThreadIndex() & (kShards - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (each shard individually exact).
+  uint64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset();
+
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+  std::string name_;
+};
+
+/// Last-writer-wins instantaneous value (queue depth, current version).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<int64_t> value_{0};
+  std::string name_;
+};
+
+/// Plain-value view of a histogram at one instant.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Count per bucket; bucket i covers [BucketLowerBound(i),
+  /// BucketUpperBound(i)).
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Fixed power-of-two-bucket histogram for non-negative values (typically
+/// latencies in microseconds). Bucket 0 is [0, 1); bucket i is
+/// [2^(i-1), 2^i); the last bucket absorbs everything above.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Percentile estimate (p in [0, 100]) by linear interpolation inside the
+  /// containing bucket, clamped to the observed [min, max].
+  double Percentile(double p) const;
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Inclusive lower / exclusive upper value bound of bucket i.
+  static double BucketLowerBound(size_t i);
+  static double BucketUpperBound(size_t i);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name);
+  void Reset();
+
+  static size_t BucketIndex(double value);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+  std::string name_;
+};
+
+/// Owner and lookup table of named metrics. Get* registers on first use and
+/// returns the same pointer afterwards; pointers stay valid for the
+/// registry's lifetime. Thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every registered metric (bench harness: per-run deltas).
+  void Reset();
+
+  /// Name-sorted plain-value listings for exporters and tests.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramValues()
+      const;
+
+  /// Process-wide default registry (leaked singleton — safe to use from
+  /// static destructors and exit handlers).
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace oct
+
+#endif  // OCT_OBS_METRICS_H_

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace oct {
+namespace obs {
+
+namespace {
+
+/// Cap per thread so a forgotten enabled flag cannot grow without bound;
+/// drops are counted in obs.spans_dropped rather than silently discarded.
+constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanEvent> events;
+  uint32_t tid = 0;
+  uint32_t depth = 0;  // Touched only by the owning thread.
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+  std::vector<SpanEvent> orphans;  // Events of threads that have exited.
+  uint32_t next_tid = 1;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+// Leaked: thread-exit hooks and exit handlers may outlive ordered statics.
+TraceState* State() {
+  static TraceState* state = new TraceState();
+  return state;
+}
+
+/// Registers the calling thread's buffer for its lifetime; flushes finished
+/// events into the orphan list on thread exit so they survive collection.
+struct ThreadBufferHandle {
+  ThreadBuffer* buffer;
+
+  ThreadBufferHandle() : buffer(new ThreadBuffer()) {
+    TraceState* state = State();
+    std::lock_guard<std::mutex> lock(state->mu);
+    buffer->tid = state->next_tid++;
+    state->buffers.push_back(buffer);
+  }
+
+  ~ThreadBufferHandle() {
+    TraceState* state = State();
+    std::lock_guard<std::mutex> lock(state->mu);
+    {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      state->orphans.insert(state->orphans.end(), buffer->events.begin(),
+                            buffer->events.end());
+    }
+    state->buffers.erase(
+        std::remove(state->buffers.begin(), state->buffers.end(), buffer),
+        state->buffers.end());
+    delete buffer;
+  }
+};
+
+ThreadBuffer* LocalBuffer() {
+  thread_local ThreadBufferHandle handle;
+  return handle.buffer;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+uint64_t SpanStart() {
+  ++LocalBuffer()->depth;
+  return TraceNowNanos();
+}
+
+void SpanEnd(const char* name, uint64_t start_ns) {
+  ThreadBuffer* buffer = LocalBuffer();
+  const uint64_t end_ns = TraceNowNanos();
+  const uint32_t depth = --buffer->depth;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    static Counter* dropped =
+        MetricsRegistry::Default()->GetCounter("obs.spans_dropped");
+    dropped->Increment();
+    return;
+  }
+  buffer->events.push_back({name, start_ns, end_ns, depth, buffer->tid});
+}
+
+}  // namespace internal
+
+void SetTracingEnabled(bool enabled) {
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - State()->epoch)
+          .count());
+}
+
+std::vector<SpanEvent> CollectSpans() {
+  TraceState* state = State();
+  std::lock_guard<std::mutex> lock(state->mu);
+  std::vector<SpanEvent> out = std::move(state->orphans);
+  state->orphans.clear();
+  for (ThreadBuffer* buffer : state->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    buffer->events.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns > b.end_ns;  // Parents before children.
+            });
+  return out;
+}
+
+void ClearSpans() {
+  TraceState* state = State();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->orphans.clear();
+  for (ThreadBuffer* buffer : state->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace obs
+}  // namespace oct

@@ -1,0 +1,104 @@
+// Scoped trace spans: hierarchical wall-time per pipeline phase.
+//
+//   {
+//     OCT_SPAN("ctcr/solve_mis");
+//     ... phase body ...
+//   }   // span recorded on scope exit
+//
+// When tracing is disabled (the default) a span costs one relaxed atomic
+// load and a branch — safe to leave in hot paths. When enabled, finished
+// spans are appended to a thread-local buffer (guarded by a per-thread
+// mutex that is uncontended except during collection), so recording never
+// synchronizes threads against each other. CollectSpans() drains every
+// thread's buffer; export.h turns the result into a Chrome-trace file
+// (chrome://tracing / Perfetto) or aggregated JSON.
+//
+// Span names must be string literals (or otherwise outlive collection);
+// events store the pointer, not a copy.
+
+#ifndef OCT_OBS_TRACE_H_
+#define OCT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace oct {
+namespace obs {
+
+/// One finished span. Times are nanoseconds since the process trace epoch
+/// (steady clock). `depth` is the nesting level on its thread at entry
+/// (outermost span = 0); `thread_id` is a small dense per-thread id.
+struct SpanEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint32_t depth = 0;
+  uint32_t thread_id = 0;
+
+  double DurationMicros() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-3;
+  }
+};
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+/// Enters a span on the calling thread: bumps the nesting depth and returns
+/// the start timestamp.
+uint64_t SpanStart();
+/// Leaves the innermost span: records the event and pops the depth.
+void SpanEnd(const char* name, uint64_t start_ns);
+}  // namespace internal
+
+/// Globally enables/disables span recording. Spans already open when the
+/// flag flips still record on close.
+void SetTracingEnabled(bool enabled);
+
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Nanoseconds since the process trace epoch (first obs use).
+uint64_t TraceNowNanos();
+
+/// Drains every thread's finished spans (plus those of exited threads),
+/// sorted by start time. Spans still open are not included.
+std::vector<SpanEvent> CollectSpans();
+
+/// Discards all recorded spans.
+void ClearSpans();
+
+/// RAII span; use via OCT_SPAN. Inactive (and free beyond one relaxed load)
+/// when tracing is disabled at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ns_ = internal::SpanStart();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) internal::SpanEnd(name_, start_ns_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace oct
+
+#define OCT_OBS_CONCAT_INNER(a, b) a##b
+#define OCT_OBS_CONCAT(a, b) OCT_OBS_CONCAT_INNER(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope. `name` must
+/// be a string literal ("module/phase" by convention).
+#define OCT_SPAN(name) \
+  ::oct::obs::ScopedSpan OCT_OBS_CONCAT(oct_scoped_span_, __LINE__)(name)
+
+#endif  // OCT_OBS_TRACE_H_

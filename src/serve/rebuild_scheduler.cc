@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/scoring.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -42,6 +43,7 @@ RebuildScheduler::RebuildScheduler(TreeStore* store, ServeStats* stats,
 RebuildScheduler::~RebuildScheduler() { WaitForRebuild(); }
 
 BatchDecision RebuildScheduler::OfferBatch(OctInput batch) {
+  OCT_SPAN("serve/drift_probe");
   const auto snap = store_->Current();
   double current_score = 0.0;
   if (snap != nullptr) {
@@ -96,6 +98,7 @@ RebuildOutcome RebuildScheduler::RebuildNow(const OctInput& batch) {
 
 RebuildOutcome RebuildScheduler::RunRebuild(const OctInput& batch,
                                             double current_score) {
+  OCT_SPAN("serve/rebuild");
   RebuildOutcome outcome;
   outcome.current_score = current_score;
   Timer timer;

@@ -23,19 +23,44 @@ std::string ServeStatsSnapshot::ToString() const {
   return buf;
 }
 
+ServeStats::ServeStats()
+    : item_lookups_(registry_.GetCounter("serve.item_lookups")),
+      item_hits_(registry_.GetCounter("serve.item_hits")),
+      label_lookups_(registry_.GetCounter("serve.label_lookups")),
+      label_hits_(registry_.GetCounter("serve.label_hits")),
+      publishes_(registry_.GetCounter("serve.publishes")),
+      rollbacks_(registry_.GetCounter("serve.rollbacks")),
+      rebuilds_triggered_(registry_.GetCounter("serve.rebuilds_triggered")),
+      rebuilds_published_(registry_.GetCounter("serve.rebuilds_published")),
+      rebuilds_discarded_(registry_.GetCounter("serve.rebuilds_discarded")),
+      rebuild_micros_(registry_.GetCounter("serve.rebuild_micros")),
+      current_version_(registry_.GetGauge("serve.current_version")),
+      rebuild_us_(registry_.GetHistogram("serve.rebuild_us")) {}
+
+void ServeStats::RecordRebuildFinished(bool published, double seconds) {
+  if (published) {
+    rebuilds_published_->Increment();
+  } else {
+    rebuilds_discarded_->Increment();
+  }
+  const uint64_t micros = static_cast<uint64_t>(seconds * 1e6);
+  rebuild_micros_->Increment(micros);
+  rebuild_us_->Record(static_cast<double>(micros));
+}
+
 ServeStatsSnapshot ServeStats::Snapshot() const {
   ServeStatsSnapshot s;
-  s.item_lookups = item_lookups_.load(std::memory_order_relaxed);
-  s.item_hits = item_hits_.load(std::memory_order_relaxed);
-  s.label_lookups = label_lookups_.load(std::memory_order_relaxed);
-  s.label_hits = label_hits_.load(std::memory_order_relaxed);
-  s.publishes = publishes_.load(std::memory_order_relaxed);
-  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
-  s.rebuilds_triggered = rebuilds_triggered_.load(std::memory_order_relaxed);
-  s.rebuilds_published = rebuilds_published_.load(std::memory_order_relaxed);
-  s.rebuilds_discarded = rebuilds_discarded_.load(std::memory_order_relaxed);
-  s.rebuild_micros = rebuild_micros_.load(std::memory_order_relaxed);
-  s.current_version = current_version_.load(std::memory_order_relaxed);
+  s.item_lookups = item_lookups_->Value();
+  s.item_hits = item_hits_->Value();
+  s.label_lookups = label_lookups_->Value();
+  s.label_hits = label_hits_->Value();
+  s.publishes = publishes_->Value();
+  s.rollbacks = rollbacks_->Value();
+  s.rebuilds_triggered = rebuilds_triggered_->Value();
+  s.rebuilds_published = rebuilds_published_->Value();
+  s.rebuilds_discarded = rebuilds_discarded_->Value();
+  s.rebuild_micros = rebuild_micros_->Value();
+  s.current_version = static_cast<uint64_t>(current_version_->Value());
   return s;
 }
 

@@ -1,15 +1,18 @@
-// ServeStats: lock-free counter block for the serving stack — lookup
-// volume/hit rate on the read path, publish/rollback/rebuild activity on
-// the write path. Counters are plain relaxed atomics: recording from many
-// reader threads never synchronizes, and Snapshot() gives a consistent-
-// enough view for dashboards (each counter is individually exact).
+// ServeStats: serving-stack counters — lookup volume/hit rate on the read
+// path, publish/rollback/rebuild activity on the write path — backed by a
+// per-instance obs::MetricsRegistry instead of a hand-rolled atomic block.
+// Recording from many reader threads never synchronizes (sharded relaxed
+// counters), and Snapshot() gives a consistent-enough view for dashboards
+// (each counter is individually exact). The registry is exposed so the
+// serving stats participate in the standard JSON exporters.
 
 #ifndef OCT_SERVE_SERVE_STATS_H_
 #define OCT_SERVE_SERVE_STATS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace oct {
 namespace serve {
@@ -44,46 +47,47 @@ struct ServeStatsSnapshot {
 
 class ServeStats {
  public:
+  ServeStats();
+  ServeStats(const ServeStats&) = delete;
+  ServeStats& operator=(const ServeStats&) = delete;
+
   void RecordItemLookup(bool hit) {
-    item_lookups_.fetch_add(1, std::memory_order_relaxed);
-    if (hit) item_hits_.fetch_add(1, std::memory_order_relaxed);
+    item_lookups_->Increment();
+    if (hit) item_hits_->Increment();
   }
   void RecordLabelLookup(bool hit) {
-    label_lookups_.fetch_add(1, std::memory_order_relaxed);
-    if (hit) label_hits_.fetch_add(1, std::memory_order_relaxed);
+    label_lookups_->Increment();
+    if (hit) label_hits_->Increment();
   }
   void RecordPublish(uint64_t version) {
-    publishes_.fetch_add(1, std::memory_order_relaxed);
-    current_version_.store(version, std::memory_order_relaxed);
+    publishes_->Increment();
+    current_version_->Set(static_cast<int64_t>(version));
   }
-  void RecordRollback() { rollbacks_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordRebuildTriggered() {
-    rebuilds_triggered_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordRebuildFinished(bool published, double seconds) {
-    if (published) {
-      rebuilds_published_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      rebuilds_discarded_.fetch_add(1, std::memory_order_relaxed);
-    }
-    rebuild_micros_.fetch_add(static_cast<uint64_t>(seconds * 1e6),
-                              std::memory_order_relaxed);
-  }
+  void RecordRollback() { rollbacks_->Increment(); }
+  void RecordRebuildTriggered() { rebuilds_triggered_->Increment(); }
+  void RecordRebuildFinished(bool published, double seconds);
 
   ServeStatsSnapshot Snapshot() const;
 
+  /// The registry backing these stats; usable with obs::MetricsToJson.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
-  std::atomic<uint64_t> item_lookups_{0};
-  std::atomic<uint64_t> item_hits_{0};
-  std::atomic<uint64_t> label_lookups_{0};
-  std::atomic<uint64_t> label_hits_{0};
-  std::atomic<uint64_t> publishes_{0};
-  std::atomic<uint64_t> rollbacks_{0};
-  std::atomic<uint64_t> rebuilds_triggered_{0};
-  std::atomic<uint64_t> rebuilds_published_{0};
-  std::atomic<uint64_t> rebuilds_discarded_{0};
-  std::atomic<uint64_t> rebuild_micros_{0};
-  std::atomic<uint64_t> current_version_{0};
+  /// Per-instance registry: tests and multi-store processes get independent
+  /// counters without touching the process-wide default.
+  obs::MetricsRegistry registry_;
+  obs::Counter* item_lookups_;
+  obs::Counter* item_hits_;
+  obs::Counter* label_lookups_;
+  obs::Counter* label_hits_;
+  obs::Counter* publishes_;
+  obs::Counter* rollbacks_;
+  obs::Counter* rebuilds_triggered_;
+  obs::Counter* rebuilds_published_;
+  obs::Counter* rebuilds_discarded_;
+  obs::Counter* rebuild_micros_;
+  obs::Gauge* current_version_;
+  obs::Histogram* rebuild_us_;
 };
 
 }  // namespace serve

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace oct {
@@ -11,6 +13,7 @@ namespace serve {
 TreeSnapshot::TreeSnapshot(CategoryTree tree, TreeVersion version,
                            std::string note)
     : tree_(std::move(tree)), version_(version), note_(std::move(note)) {
+  OCT_SPAN("serve/snapshot_build");
   Timer timer;
   tree_.Compact();
 
@@ -65,6 +68,9 @@ TreeSnapshot::TreeSnapshot(CategoryTree tree, TreeVersion version,
   }
 
   build_seconds_ = timer.ElapsedSeconds();
+  static obs::Histogram* build_us =
+      obs::MetricsRegistry::Default()->GetHistogram("serve.snapshot_build_us");
+  build_us->Record(build_seconds_ * 1e6);
 }
 
 std::span<const NodeId> TreeSnapshot::PlacementsOf(ItemId item) const {

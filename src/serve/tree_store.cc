@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace oct {
 namespace serve {
 
@@ -15,6 +17,7 @@ TreeVersion TreeStore::CurrentVersion() const {
 
 std::shared_ptr<const TreeSnapshot> TreeStore::Publish(CategoryTree tree,
                                                        std::string note) {
+  OCT_SPAN("serve/publish");
   std::lock_guard<std::mutex> lock(mu_);
   // Index building happens here, on the publisher's thread; readers keep
   // serving the previous snapshot until the single atomic store below.

@@ -7,9 +7,9 @@
 namespace oct {
 namespace internal {
 
-namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
+namespace {
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -27,8 +27,8 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -36,7 +36,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level.load() || level_ == LogLevel::kFatal) {
+  // OCT_LOG_* already filtered at the call site; the check here keeps the
+  // level semantics for directly constructed messages (OCT_CHECK is kFatal).
+  if (level_ >= g_log_level.load() || level_ == LogLevel::kFatal) {
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
   if (level_ == LogLevel::kFatal) {

@@ -3,6 +3,7 @@
 #ifndef OCT_UTIL_LOGGING_H_
 #define OCT_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -10,6 +11,15 @@ namespace oct {
 namespace internal {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+extern std::atomic<LogLevel> g_log_level;
+
+/// True when a message at `level` would actually be emitted. Checked at the
+/// macro call site so a disabled OCT_LOG_DEBUG in a hot loop costs one
+/// relaxed load and a branch, never an ostringstream.
+inline bool LogLevelEnabled(LogLevel level) {
+  return level >= g_log_level.load(std::memory_order_relaxed);
+}
 
 /// Stream-style log sink; emits on destruction. FATAL aborts the process.
 class LogMessage {
@@ -28,6 +38,14 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a LogMessage in the ternary of OCT_LOG_*; `&` binds looser than
+/// `<<` and tighter than `?:`, which is the whole trick (as in glog).
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+  void operator&(LogMessage&&) {}
+};
+
 /// Minimum level that is actually emitted (default: Info).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
@@ -35,14 +53,18 @@ LogLevel GetLogLevel();
 }  // namespace internal
 }  // namespace oct
 
-#define OCT_LOG_DEBUG \
-  ::oct::internal::LogMessage(::oct::internal::LogLevel::kDebug, __FILE__, __LINE__)
-#define OCT_LOG_INFO \
-  ::oct::internal::LogMessage(::oct::internal::LogLevel::kInfo, __FILE__, __LINE__)
-#define OCT_LOG_WARNING \
-  ::oct::internal::LogMessage(::oct::internal::LogLevel::kWarning, __FILE__, __LINE__)
-#define OCT_LOG_ERROR \
-  ::oct::internal::LogMessage(::oct::internal::LogLevel::kError, __FILE__, __LINE__)
+/// Expands to a statement that constructs the LogMessage (and evaluates the
+/// streamed operands) only when `level` passes the filter.
+#define OCT_LOG_WITH_LEVEL(level)                            \
+  !::oct::internal::LogLevelEnabled(level)                   \
+      ? (void)0                                              \
+      : ::oct::internal::Voidify() &                         \
+            ::oct::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define OCT_LOG_DEBUG OCT_LOG_WITH_LEVEL(::oct::internal::LogLevel::kDebug)
+#define OCT_LOG_INFO OCT_LOG_WITH_LEVEL(::oct::internal::LogLevel::kInfo)
+#define OCT_LOG_WARNING OCT_LOG_WITH_LEVEL(::oct::internal::LogLevel::kWarning)
+#define OCT_LOG_ERROR OCT_LOG_WITH_LEVEL(::oct::internal::LogLevel::kError)
 
 /// Precondition check: aborts with a message when `cond` is false.
 #define OCT_CHECK(cond)                                                       \

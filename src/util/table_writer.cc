@@ -1,7 +1,10 @@
 #include "util/table_writer.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/logging.h"
@@ -75,6 +78,76 @@ std::string TableWriter::ToCsv() const {
   emit(header_);
   for (const auto& row : rows_) emit(row);
   return out.str();
+}
+
+namespace {
+
+/// True when the whole cell parses as a finite JSON-compatible number.
+bool IsJsonNumber(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size() || errno != 0) return false;
+  if (!std::isfinite(v)) return false;
+  // JSON forbids leading '+', bare '.', and "inf"/"nan" spellings; the
+  // full-parse check above already rejected the latter.
+  const char first = cell[0];
+  if (first != '-' && (first < '0' || first > '9')) return false;
+  // Reject strtod-isms JSON cannot represent (hex floats, leading zeros).
+  if (cell.find_first_of("xX") != std::string::npos) return false;
+  const size_t digits_start = first == '-' ? 1 : 0;
+  if (cell.size() > digits_start + 1 && cell[digits_start] == '0' &&
+      cell[digits_start + 1] != '.' && cell[digits_start + 1] != 'e' &&
+      cell[digits_start + 1] != 'E') {
+    return false;
+  }
+  return true;
+}
+
+std::string JsonEscapeCell(const std::string& cell) {
+  std::string out;
+  out.reserve(cell.size());
+  for (char ch : cell) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TableWriter::ToJson() const {
+  std::string out = "[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out += ",";
+    out += "{";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      if (c) out += ",";
+      out += "\"" + JsonEscapeCell(header_[c]) + "\":";
+      if (IsJsonNumber(rows_[r][c])) {
+        out += rows_[r][c];
+      } else {
+        out += "\"" + JsonEscapeCell(rows_[r][c]) + "\"";
+      }
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace oct

@@ -27,6 +27,10 @@ class TableWriter {
   /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
   std::string ToCsv() const;
 
+  /// Renders a JSON array of objects, one per row, keyed by header; cells
+  /// that parse fully as numbers are emitted unquoted.
+  std::string ToJson() const;
+
   size_t num_rows() const { return rows_.size(); }
 
  private:

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace oct {
+
+namespace {
+
+/// Pool metrics live on the default registry: every pool in the process
+/// shares them, which matches how the pool itself is usually the shared
+/// DefaultThreadPool(). Cached once; the registry outlives all pools.
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_us;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics m = {
+      obs::MetricsRegistry::Default()->GetCounter("threadpool.tasks"),
+      obs::MetricsRegistry::Default()->GetGauge("threadpool.queue_depth"),
+      obs::MetricsRegistry::Default()->GetHistogram("threadpool.task_us"),
+  };
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -31,6 +55,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     OCT_CHECK(!stop_);
     queue_.push(std::move(task));
   }
+  Metrics().tasks->Increment();
+  Metrics().queue_depth->Add(1);
   cv_task_.notify_one();
 }
 
@@ -50,7 +76,10 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       ++in_flight_;
     }
+    Metrics().queue_depth->Add(-1);
+    Timer task_timer;
     task();
+    Metrics().task_us->Record(task_timer.ElapsedSeconds() * 1e6);
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -1,0 +1,535 @@
+// Unit tests for oct::obs: metrics registry (counters, gauges, histograms,
+// concurrency), scoped trace spans (nesting, threading, enable gate), and
+// the JSON / Chrome-trace exporters (validated with a small JSON parser).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace oct {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator (syntax only). Good enough to
+// prove exporter output parses; not a general-purpose parser.
+// ---------------------------------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    const size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      pos_ = start;
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Counter, AccumulatesAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Counter, IncrementWithDelta) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.delta");
+  counter->Increment(5);
+  counter->Increment();
+  counter->Increment(100);
+  EXPECT_EQ(counter->Value(), 106u);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("x"), registry.GetCounter("x"));
+  EXPECT_EQ(registry.GetGauge("x"), registry.GetGauge("x"));
+  EXPECT_EQ(registry.GetHistogram("x"), registry.GetHistogram("x"));
+  EXPECT_NE(registry.GetCounter("x"), registry.GetCounter("y"));
+}
+
+TEST(MetricsRegistry, ConcurrentGetOrCreateIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      for (int i = 0; i < 1000; ++i) {
+        Counter* c = registry.GetCounter("contended");
+        c->Increment();
+        seen[t] = c;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), 8000u);
+}
+
+TEST(Gauge, SetAddValue) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  EXPECT_EQ(gauge->Value(), 0);
+  gauge->Set(42);
+  EXPECT_EQ(gauge->Value(), 42);
+  gauge->Add(-50);
+  EXPECT_EQ(gauge->Value(), -8);
+}
+
+TEST(Histogram, SnapshotCountsSumMinMax) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.hist");
+  hist->Record(1.5);
+  hist->Record(3.0);
+  hist->Record(100.0);
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 104.5);
+  EXPECT_DOUBLE_EQ(snap.min, 1.5);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_NEAR(snap.Mean(), 104.5 / 3.0, 1e-12);
+}
+
+TEST(Histogram, PercentilesBracketBimodalDistribution) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.p");
+  // 90 fast ops (~1.5us) and 10 slow ops (~1000us): p50 must sit in the
+  // fast bucket, p99 near the slow mode.
+  for (int i = 0; i < 90; ++i) hist->Record(1.5);
+  for (int i = 0; i < 10; ++i) hist->Record(1000.0);
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_GE(snap.p50, 1.5);
+  EXPECT_LE(snap.p50, 2.0);  // Bucket [1, 2), clamped to observed min.
+  EXPECT_GE(snap.p99, 512.0);   // Slow mode's bucket is [512, 1024).
+  EXPECT_LE(snap.p99, 1000.0);  // Clamped to observed max.
+  EXPECT_GE(snap.p95, snap.p50);
+  EXPECT_GE(snap.p99, snap.p95);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.empty");
+  EXPECT_EQ(hist->Count(), 0u);
+  EXPECT_DOUBLE_EQ(hist->Percentile(50.0), 0.0);
+}
+
+TEST(Histogram, OverflowBucketUsesObservedMax) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.overflow");
+  const double huge = 1e30;  // Far beyond the last finite bucket bound.
+  hist->Record(huge);
+  EXPECT_DOUBLE_EQ(hist->Percentile(99.0), huge);
+}
+
+TEST(Histogram, BucketBoundsArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(1), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(10), 512.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(10), 1024.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(7);
+  registry.GetGauge("g")->Set(7);
+  registry.GetHistogram("h")->Record(7.0);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g")->Value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h")->Count(), 0u);
+}
+
+TEST(MetricsRegistry, ValuesAreNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Increment();
+  registry.GetCounter("alpha")->Increment(2);
+  const auto values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "alpha");
+  EXPECT_EQ(values[0].second, 2u);
+  EXPECT_EQ(values[1].first, "zeta");
+}
+
+TEST(MetricsRegistry, DefaultIsSingleton) {
+  EXPECT_EQ(MetricsRegistry::Default(), MetricsRegistry::Default());
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClearSpans();
+    SetTracingEnabled(true);
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    ClearSpans();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  {
+    OCT_SPAN("outer");
+    {
+      OCT_SPAN("middle");
+      { OCT_SPAN("inner"); }
+    }
+    { OCT_SPAN("sibling"); }
+  }
+  const std::vector<SpanEvent> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanEvent* outer = nullptr;
+  const SpanEvent* middle = nullptr;
+  const SpanEvent* inner = nullptr;
+  const SpanEvent* sibling = nullptr;
+  for (const SpanEvent& e : spans) {
+    const std::string name = e.name;
+    if (name == "outer") outer = &e;
+    if (name == "middle") middle = &e;
+    if (name == "inner") inner = &e;
+    if (name == "sibling") sibling = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(middle->depth, 1u);
+  EXPECT_EQ(inner->depth, 2u);
+  EXPECT_EQ(sibling->depth, 1u);
+  // Time containment: children within parents.
+  EXPECT_GE(middle->start_ns, outer->start_ns);
+  EXPECT_LE(middle->end_ns, outer->end_ns);
+  EXPECT_GE(inner->start_ns, middle->start_ns);
+  EXPECT_LE(inner->end_ns, middle->end_ns);
+  // All on one thread.
+  EXPECT_EQ(middle->thread_id, outer->thread_id);
+  EXPECT_EQ(inner->thread_id, outer->thread_id);
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  SetTracingEnabled(false);
+  { OCT_SPAN("invisible"); }
+  EXPECT_TRUE(CollectSpans().empty());
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableStillCloses) {
+  std::vector<SpanEvent> spans;
+  {
+    OCT_SPAN("closing");
+    SetTracingEnabled(false);
+  }
+  spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "closing");
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIdsAndAllSpansCollect) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] { OCT_SPAN("worker"); });
+  }
+  for (auto& t : threads) t.join();
+  { OCT_SPAN("main"); }
+  const std::vector<SpanEvent> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads) + 1);
+  std::vector<uint32_t> tids;
+  for (const SpanEvent& e : spans) tids.push_back(e.thread_id);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+}
+
+TEST_F(TraceTest, CollectDrainsAndSortsByStart) {
+  { OCT_SPAN("a"); }
+  { OCT_SPAN("b"); }
+  const std::vector<SpanEvent> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_TRUE(CollectSpans().empty());  // Drained.
+}
+
+TEST_F(TraceTest, CoverageOfFullyInstrumentedRootIsNearOne) {
+  // Each phase does real work so span durations are nonzero even on coarse
+  // clocks.
+  volatile double sink = 0.0;
+  {
+    OCT_SPAN("root");
+    {
+      OCT_SPAN("phase1");
+      for (int i = 0; i < 20000; ++i) sink = sink + i * 0.5;
+    }
+    {
+      OCT_SPAN("phase2");
+      for (int i = 0; i < 20000; ++i) sink = sink + i * 0.25;
+    }
+  }
+  const std::vector<SpanEvent> spans = CollectSpans();
+  const double coverage = SpanTreeCoverage(spans, "root");
+  EXPECT_GT(coverage, 0.0);
+  EXPECT_LE(coverage, 1.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(SpanTreeCoverage(spans, "missing"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Export, MetricsToJsonIsValidAndContainsPercentiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("runs")->Increment(3);
+  registry.GetGauge("depth")->Set(-2);
+  Histogram* hist = registry.GetHistogram("lat_us");
+  for (int i = 0; i < 100; ++i) hist->Record(i < 90 ? 1.5 : 1000.0);
+  const std::string json = MetricsToJson(registry);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"runs\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(Export, JsonWriterEscapesSpecials) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("quote\"back\\slash").String("line\nbreak\ttab");
+  w.Key("nan").Double(std::nan(""));
+  w.EndObject();
+  EXPECT_TRUE(JsonValidator(w.str()).Valid()) << w.str();
+  EXPECT_NE(w.str().find("\\n"), std::string::npos);
+  EXPECT_NE(w.str().find("\"nan\":null"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceHasCompleteEvents) {
+  SetTracingEnabled(true);
+  ClearSpans();
+  {
+    OCT_SPAN("outer");
+    { OCT_SPAN("inner"); }
+  }
+  SetTracingEnabled(false);
+  const std::vector<SpanEvent> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  const std::string json = SpansToChromeTrace(spans);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST(Export, AggregateSpansSumsByName) {
+  std::vector<SpanEvent> events;
+  events.push_back({"a", 0, 1000, 0, 1});
+  events.push_back({"a", 2000, 5000, 0, 1});
+  events.push_back({"b", 0, 10000, 0, 2});
+  const std::vector<SpanAggregate> aggs = AggregateSpans(events);
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].name, "b");  // Sorted by total time desc.
+  EXPECT_EQ(aggs[0].total_ns, 10000u);
+  EXPECT_EQ(aggs[1].name, "a");
+  EXPECT_EQ(aggs[1].count, 2u);
+  EXPECT_EQ(aggs[1].total_ns, 4000u);
+  const std::string json = SpansToJson(events);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+}
+
+TEST(Export, SpanTreeCoverageCountsDirectChildrenOnly) {
+  std::vector<SpanEvent> events;
+  events.push_back({"root", 0, 1000, 0, 1});
+  events.push_back({"child1", 0, 400, 1, 1});
+  events.push_back({"child2", 500, 900, 1, 1});
+  events.push_back({"grandchild", 0, 400, 2, 1});  // Not double counted.
+  events.push_back({"other_thread", 0, 1000, 1, 2});  // Different tid.
+  EXPECT_DOUBLE_EQ(SpanTreeCoverage(events, "root"), 0.8);
+}
+
+TEST(Export, WriteStringToFileRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/oct_obs_export_test.json";
+  const std::string content = "{\"hello\":\"world\"}";
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), content);
+}
+
+TEST(Export, WriteStringToFileFailsOnBadPath) {
+  EXPECT_FALSE(
+      WriteStringToFile("/nonexistent-dir-xyz/file.json", "x").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace oct

@@ -1,17 +1,21 @@
 // Unit tests for the util module: Status/Result, Rng/Zipf, ThreadPool,
-// TableWriter, string helpers.
+// TableWriter, Timer, logging, string helpers.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace oct {
 namespace {
@@ -208,6 +212,123 @@ TEST(StringUtil, TokenizeLowercasesAndDropsPunctuation) {
   EXPECT_EQ(toks[1], "blazer");
   EXPECT_EQ(toks[2], "size");
   EXPECT_EQ(toks[3], "42");
+}
+
+TEST(TableWriter, AlignedColumnsPadToWidestCell) {
+  TableWriter table({"a", "longheader"});
+  table.AddRow({"wide-cell-value", "1"});
+  table.AddRow({"x", "2"});
+  const std::string out = table.ToAligned();
+  // Every line places its second column at the same offset: widest first
+  // cell ("wide-cell-value", 15 chars) plus the two-space gutter.
+  std::vector<size_t> col2_offsets;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const std::string line = out.substr(start, end - start);
+    if (line.find('-') != 0) {  // Skip the separator rule.
+      const size_t last_space = line.find_last_of(' ');
+      ASSERT_NE(last_space, std::string::npos) << line;
+      col2_offsets.push_back(last_space + 1);
+    }
+    start = end + 1;
+  }
+  ASSERT_EQ(col2_offsets.size(), 3u) << out;
+  EXPECT_EQ(col2_offsets[0], 17u);  // 15 + 2-space gutter.
+  EXPECT_EQ(col2_offsets[1], col2_offsets[0]);
+  EXPECT_EQ(col2_offsets[2], col2_offsets[0]);
+}
+
+TEST(TableWriter, NumRoundsHalfAndPadsZeros) {
+  EXPECT_EQ(TableWriter::Num(1.0, 3), "1.000");
+  EXPECT_EQ(TableWriter::Num(2.5, 0), "2");  // Banker-independent: %.0f.
+  EXPECT_EQ(TableWriter::Num(-0.125, 2), "-0.12");
+  EXPECT_EQ(TableWriter::Num(1234.5678, 1), "1234.6");
+}
+
+TEST(TableWriter, ToJsonQuotesStringsAndLeavesNumbersBare) {
+  TableWriter table({"name", "score", "note"});
+  table.AddRow({"CTCR", "0.95", "has \"quotes\""});
+  table.AddRow({"CCT", "-3", ""});
+  const std::string json = table.ToJson();
+  EXPECT_EQ(json,
+            "[{\"name\":\"CTCR\",\"score\":0.95,\"note\":\"has "
+            "\\\"quotes\\\"\"},{\"name\":\"CCT\",\"score\":-3,\"note\":\"\"}]");
+}
+
+TEST(TableWriter, ToJsonRejectsNonJsonNumberSpellings) {
+  TableWriter table({"v"});
+  table.AddRow({"0x10"});   // Hex parses via strtod but is not JSON.
+  table.AddRow({"007"});    // Leading zeros are not JSON.
+  table.AddRow({"+1"});     // Leading '+' is not JSON.
+  table.AddRow({"1e3"});    // Scientific notation IS JSON.
+  const std::string json = table.ToJson();
+  EXPECT_EQ(json,
+            "[{\"v\":\"0x10\"},{\"v\":\"007\"},{\"v\":\"+1\"},{\"v\":1e3}]");
+}
+
+TEST(Timer, ElapsedIsMonotonicNonNegative) {
+  Timer timer;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  EXPECT_GE(last, 0.0);
+}
+
+TEST(Timer, MeasuresSleepsAndResets) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(timer.ElapsedMillis(), 9.0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), 9.0);
+}
+
+TEST(Logging, LevelFilterGatesStreamEvaluation) {
+  const internal::LogLevel saved = internal::GetLogLevel();
+  internal::SetLogLevel(internal::LogLevel::kWarning);
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return "payload";
+  };
+  // Below the configured level: the macro short-circuits before the stream
+  // expression runs, so the operand is never evaluated.
+  OCT_LOG_DEBUG << count();
+  OCT_LOG_INFO << count();
+  EXPECT_EQ(evaluations, 0);
+  // At/above the level the operands evaluate (and the message is emitted).
+  OCT_LOG_WARNING << count();
+  OCT_LOG_ERROR << count();
+  EXPECT_EQ(evaluations, 2);
+  internal::SetLogLevel(saved);
+}
+
+TEST(Logging, LevelEnabledMatchesConfiguredThreshold) {
+  const internal::LogLevel saved = internal::GetLogLevel();
+  internal::SetLogLevel(internal::LogLevel::kError);
+  EXPECT_FALSE(internal::LogLevelEnabled(internal::LogLevel::kDebug));
+  EXPECT_FALSE(internal::LogLevelEnabled(internal::LogLevel::kWarning));
+  EXPECT_TRUE(internal::LogLevelEnabled(internal::LogLevel::kError));
+  EXPECT_TRUE(internal::LogLevelEnabled(internal::LogLevel::kFatal));
+  internal::SetLogLevel(saved);
+}
+
+TEST(Logging, MacroComposesWithUnbracedIfElse) {
+  const internal::LogLevel saved = internal::GetLogLevel();
+  internal::SetLogLevel(internal::LogLevel::kError);
+  bool took_else = false;
+  // The ternary-based macro must parse as a single expression statement so
+  // this does not bind the else to a hidden if inside the macro.
+  if (false)
+    OCT_LOG_INFO << "never";
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+  internal::SetLogLevel(saved);
 }
 
 }  // namespace

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Captures a dated benchmark snapshot: runs micro_benchmarks and
+# serving_throughput with OCT_BENCH_JSON and merges their structured
+# reports into BENCH_<date>.json at the repo root. Diff two snapshots to
+# see performance drift between commits.
+#
+#   $ tools/bench_snapshot.sh             # build dir: build
+#   $ tools/bench_snapshot.sh my-build    # custom build dir
+#
+# Requires the benchmarks to be built (cmake --build <dir>).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT="$REPO_ROOT/BENCH_$(date +%Y-%m-%d).json"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+for bench in micro_benchmarks serving_throughput; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin -- build benchmarks first:" >&2
+    echo "  cmake -B $BUILD_DIR -S $REPO_ROOT && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  echo "== $bench =="
+  OCT_BENCH_JSON="$TMP_DIR/$bench.json" "$bin"
+done
+
+# Merge per-bench reports into {"date":...,"runs":{name:<report>,...}}.
+{
+  printf '{"date":"%s","runs":{' "$(date +%Y-%m-%dT%H:%M:%S)"
+  first=1
+  for f in "$TMP_DIR"/*.json; do
+    name="$(basename "$f" .json)"
+    [ "$first" = 1 ] || printf ','
+    first=0
+    printf '"%s":' "$name"
+    cat "$f"
+  done
+  printf '}}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

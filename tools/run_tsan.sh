@@ -1,32 +1,4 @@
 #!/usr/bin/env bash
-# Race-checks the serving stack: builds the library and tests with
-# ThreadSanitizer (OCT_SANITIZE=thread) and runs the serve stress tests
-# plus the full tier-1 ctest suite under it. Any reported race fails the
-# run (TSAN_OPTIONS halt_on_error).
-#
-#   $ tools/run_tsan.sh           # build dir: build-tsan
-#   $ tools/run_tsan.sh my-dir    # custom build dir
-#
-# Benchmarks and examples are skipped: they add nothing to race coverage
-# and google-benchmark is not TSan-instrumented.
-
-set -euo pipefail
-
-REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
-
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
-  -DOCT_SANITIZE=thread \
-  -DOCT_BUILD_BENCHMARKS=OFF \
-  -DOCT_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-
-export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-
-echo "== serve stress tests under TSan =="
-"$BUILD_DIR/tests/test_serve_stress"
-
-echo "== full tier-1 suite under TSan =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
-
-echo "TSan run clean: no data races reported."
+# Back-compat wrapper: tools/run_sanitizers.sh now drives tsan, asan, and
+# ubsan. This keeps the old entry point working.
+exec "$(dirname "$0")/run_sanitizers.sh" tsan "$@"
