@@ -28,6 +28,11 @@ int main() {
 
   // --- Day 0: build from the current query log and publish v1. ----------
   const serve::RebuildOutcome boot = scheduler.RebuildNow(ds.input);
+  if (!boot.published) {
+    std::printf("bootstrap rebuild failed after %d attempt(s): %s\n",
+                boot.attempts, boot.status.ToString().c_str());
+    return 1;
+  }
   std::printf("published v%llu: %zu categories, %zu items indexed "
               "(build %.3f s, score %.4f)\n\n",
               static_cast<unsigned long long>(boot.published_version),

@@ -20,7 +20,7 @@ inline size_t CondensedIndex(size_t n, size_t i, size_t j) {
 
 Dendrogram AgglomerativeCluster(
     size_t n, const std::function<double(size_t, size_t)>& distance,
-    Linkage linkage) {
+    Linkage linkage, const fault::CancelToken* cancel) {
   Dendrogram dendro;
   dendro.num_leaves = n;
   if (n <= 1) return dendro;
@@ -48,6 +48,24 @@ Dendrogram AgglomerativeCluster(
   uint32_t next_id = static_cast<uint32_t>(n);
 
   while (remaining > 1) {
+    if (fault::Cancelled(cancel)) {
+      // Fast finish: fold the remaining clusters left-to-right. The merge
+      // heights are whatever the (possibly stale) matrix says — heights are
+      // advisory; downstream only consumes the merge structure.
+      size_t acc = SIZE_MAX;
+      for (size_t i = 0; i < n && remaining > 1; ++i) {
+        if (!active[i]) continue;
+        if (acc == SIZE_MAX) {
+          acc = i;
+          continue;
+        }
+        dendro.merges.push_back({node_id[acc], node_id[i], d(acc, i)});
+        active[i] = 0;
+        node_id[acc] = next_id++;
+        --remaining;
+      }
+      break;
+    }
     if (chain.empty()) {
       for (size_t i = 0; i < n; ++i) {
         if (active[i]) {

@@ -11,6 +11,8 @@
 #include <functional>
 #include <vector>
 
+#include "fault/cancel.h"
+
 namespace oct {
 namespace cct {
 
@@ -40,9 +42,14 @@ struct Dendrogram {
 enum class Linkage { kAverage, kSingle, kComplete };
 
 /// Clusters n points given a pairwise distance oracle. O(n^2) memory.
+/// When `cancel` (not owned; may be null) fires, the remaining clusters are
+/// folded together without nearest-neighbor search — the dendrogram is
+/// always complete (n-1 merges), its upper structure just degrades from
+/// "nearest pairs" to "arbitrary order".
 Dendrogram AgglomerativeCluster(
     size_t n, const std::function<double(size_t, size_t)>& distance,
-    Linkage linkage = Linkage::kAverage);
+    Linkage linkage = Linkage::kAverage,
+    const fault::CancelToken* cancel = nullptr);
 
 }  // namespace cct
 }  // namespace oct

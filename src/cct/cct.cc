@@ -5,6 +5,7 @@
 #include "cct/embedding.h"
 #include "core/scoring.h"
 #include "core/tree_ops.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -68,7 +69,10 @@ CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   static obs::Histogram* assign_us =
       obs::MetricsRegistry::Default()->GetHistogram("cct.assign_us");
   runs->Increment();
+  static obs::Counter* deadline_hits =
+      obs::MetricsRegistry::Default()->GetCounter("cct.deadline_exceeded");
   CctResult result;
+  result.status = OCT_FAILPOINT("cct.build");
   const size_t n = input.num_sets();
 
   // Line 1: embeddings.
@@ -88,7 +92,7 @@ CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
     OCT_SPAN("cct/cluster");
     const Dendrogram dendro = AgglomerativeCluster(
         n, [&](size_t a, size_t b) { return emb.Distance(a, b); },
-        options.linkage);
+        options.linkage, options.cancel);
     result.tree = TreeFromDendrogram(input, dendro, &cat_of);
   }
   result.seconds_cluster = timer.ElapsedSeconds();
@@ -103,14 +107,21 @@ CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   assign.cat_of = cat_of;
   result.assignment = AssignItems(input, sim, assign, &result.tree);
 
-  // Lines 5-6: condense; line 7: misc category.
-  if (options.condense) {
+  // Lines 5-6: condense — a refinement pass, shed first when the build
+  // budget runs out. Line 7: misc category — always runs (model validity).
+  if (options.condense && !fault::Cancelled(options.cancel)) {
     CondenseTree(input, sim, &result.tree);
   }
   AddMiscCategory(input, &result.tree);
   AnnotateCoveredSets(input, sim, &result.tree);
   result.seconds_assign = timer.ElapsedSeconds();
   assign_us->Record(result.seconds_assign * 1e6);
+  if (result.status.ok() && fault::Cancelled(options.cancel)) {
+    result.status = options.cancel->status();
+  }
+  if (result.status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_hits->Increment();
+  }
   OCT_DCHECK(result.tree.ValidateModel(input).ok())
       << result.tree.ValidateModel(input).ToString();
   return result;

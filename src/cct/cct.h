@@ -14,6 +14,8 @@
 #include "core/input.h"
 #include "core/item_assignment.h"
 #include "core/similarity.h"
+#include "fault/cancel.h"
+#include "util/status.h"
 
 namespace oct {
 namespace cct {
@@ -22,6 +24,11 @@ struct CctOptions {
   Linkage linkage = Linkage::kAverage;
   /// Disable to skip condensing — ablation knob.
   bool condense = true;
+  /// Deadline/cancellation (not owned; may be null). On expiry the
+  /// clustering fast-finishes its remaining merges and condensing is
+  /// skipped; the result is always a valid, model-checked tree with
+  /// `CctResult::status` reporting kDeadlineExceeded.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 struct CctResult {
@@ -30,6 +37,9 @@ struct CctResult {
   double seconds_embed = 0.0;
   double seconds_cluster = 0.0;
   double seconds_assign = 0.0;
+  /// OK, or kDeadlineExceeded when the build deadline expired and the tree
+  /// is a (still valid) best-so-far result.
+  Status status = Status::OK();
 };
 
 /// Runs CCT for any of the six variants. O(n^2) memory in the number of

@@ -5,6 +5,7 @@
 
 #include "core/scoring.h"
 #include "core/tree_ops.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -63,8 +64,11 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   static obs::Histogram* build_us =
       obs::MetricsRegistry::Default()->GetHistogram("ctcr.build_us");
   runs->Increment();
+  static obs::Counter* deadline_hits =
+      obs::MetricsRegistry::Default()->GetCounter("ctcr.deadline_exceeded");
 
   CtcrResult result;
+  result.status = OCT_FAILPOINT("ctcr.build");
   const size_t n = input.num_sets();
   const bool general = UsesThresholdBelowOne(input, sim);
 
@@ -91,7 +95,9 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
       graph.AddEdge(a, b);
     }
     graph.Finalize();
-    const mis::MisSolution sol = mis::SolveMis(graph, options.mis);
+    mis::MisOptions mis_options = options.mis;
+    mis_options.cancel = options.cancel;
+    const mis::MisSolution sol = mis::SolveMis(graph, mis_options);
     independent.assign(sol.vertices.begin(), sol.vertices.end());
     result.mis_optimal = sol.optimal;
     result.independent_set_weight = sol.weight;
@@ -107,8 +113,9 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
       hg.AddEdge3(t[0], t[1], t[2]);
     }
     hg.Finalize();
-    const mis::MisSolution sol =
-        mis::SolveHypergraphMis(hg, options.hypergraph);
+    mis::HypergraphSolverOptions hg_options = options.hypergraph;
+    hg_options.cancel = options.cancel;
+    const mis::MisSolution sol = mis::SolveHypergraphMis(hg, hg_options);
     independent.assign(sol.vertices.begin(), sol.vertices.end());
     result.mis_optimal = sol.optimal;
     result.independent_set_weight = sol.weight;
@@ -228,22 +235,34 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
     result.assignment = AssignItems(input, sim, assign, &tree);
   }
 
+  // Lines 21-25 are refinement passes: they improve the tree but the model
+  // is already valid without them, so they are the first work shed when the
+  // build budget runs out.
+  const bool out_of_budget = fault::Cancelled(options.cancel);
+
   // Lines 21-23: intermediate categories (recombine partitioned sets).
-  if (options.add_intermediate_categories && general &&
+  if (!out_of_budget && options.add_intermediate_categories && general &&
       UsesItemAssignment(sim)) {
     result.intermediates_added = AddIntermediateCategories(input, &tree);
   }
 
   // Lines 24-25: condense (thresholds below 1 only).
-  if (options.condense && general) {
+  if (!out_of_budget && options.condense && general) {
     CondenseTree(input, sim, &tree);
   }
 
-  // Line 26: misc category with every unassigned item.
+  // Line 26: misc category with every unassigned item. Always runs — the
+  // model requires every item to appear somewhere.
   AddMiscCategory(input, &tree);
   AnnotateCoveredSets(input, sim, &tree);
   result.seconds_build = timer.ElapsedSeconds();
   build_us->Record(result.seconds_build * 1e6);
+  if (result.status.ok() && fault::Cancelled(options.cancel)) {
+    result.status = options.cancel->status();
+  }
+  if (result.status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_hits->Increment();
+  }
   OCT_DCHECK(tree.ValidateModel(input).ok())
       << tree.ValidateModel(input).ToString();
   return result;

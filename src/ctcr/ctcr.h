@@ -17,8 +17,10 @@
 #include "core/item_assignment.h"
 #include "core/similarity.h"
 #include "ctcr/conflicts.h"
+#include "fault/cancel.h"
 #include "mis/hypergraph_solver.h"
 #include "mis/solver.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace oct {
@@ -33,6 +35,13 @@ struct CtcrOptions {
   bool add_intermediate_categories = true;
   /// Disable to skip lines 24-25 (condensing) — ablation knob.
   bool condense = true;
+  /// Deadline/cancellation (not owned; may be null). CTCR degrades as an
+  /// anytime algorithm: conflict analysis always completes (the tree is
+  /// invalid without it), the MIS stage keeps its best valid IS so far, and
+  /// the optional refinement passes (intermediate categories, condensing)
+  /// are skipped. The result is always a valid, model-checked tree;
+  /// `CtcrResult::status` reports kDeadlineExceeded when degraded.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Everything CTCR produces besides the tree (diagnostics for benchmarks,
@@ -52,6 +61,9 @@ struct CtcrResult {
   double seconds_conflicts = 0.0;
   double seconds_mis = 0.0;
   double seconds_build = 0.0;
+  /// OK, or kDeadlineExceeded when the build deadline expired and the tree
+  /// is a (still valid) best-so-far result.
+  Status status = Status::OK();
 };
 
 /// Runs CTCR for any of the six variants. The input must be valid

@@ -9,7 +9,7 @@
 namespace oct {
 namespace data {
 
-DatasetSpec SpecFor(char name) {
+Result<DatasetSpec> TrySpecFor(char name) {
   DatasetSpec spec;
   spec.name = name;
   switch (name) {
@@ -45,24 +45,44 @@ DatasetSpec SpecFor(char name) {
       spec.seed = 105;
       break;
     default:
-      OCT_CHECK(false) << "unknown dataset " << name;
+      return Status::InvalidArgument(
+          std::string("unknown dataset '") + name +
+          "' (registry has 'A'..'E')");
   }
   return spec;
 }
 
+DatasetSpec SpecFor(char name) {
+  auto spec = TrySpecFor(name);
+  OCT_CHECK(spec.ok()) << spec.status().ToString();
+  return std::move(spec).value();
+}
+
 double BenchScale() {
+  constexpr double kDefault = 0.08;
   const char* env = std::getenv("OCT_BENCH_SCALE");
-  if (env == nullptr || *env == '\0') return 0.08;
+  if (env == nullptr || *env == '\0') return kDefault;
   const std::string s(env);
   if (s == "full") return 1.0;
   const double v = std::atof(env);
-  OCT_CHECK(v > 0.0 && v <= 1.0) << "OCT_BENCH_SCALE must be in (0,1]";
+  if (!(v > 0.0 && v <= 1.0)) {
+    // Operator input: degrade to the default rather than aborting a serving
+    // or bench process over a typo.
+    OCT_LOG_WARNING << "OCT_BENCH_SCALE='" << s
+                    << "' is not in (0,1] or 'full'; using default "
+                    << kDefault;
+    return kDefault;
+  }
   return v;
 }
 
-Dataset MakeDataset(char name, const Similarity& sim, double scale,
-                    const DatasetOptions& options) {
-  const DatasetSpec spec = SpecFor(name);
+Result<Dataset> TryMakeDataset(char name, const Similarity& sim, double scale,
+                               const DatasetOptions& options) {
+  OCT_ASSIGN_OR_RETURN(const DatasetSpec spec, TrySpecFor(name));
+  if (!(scale > 0.0)) {
+    return Status::InvalidArgument("dataset scale must be positive, got " +
+                                   std::to_string(scale));
+  }
   Dataset ds;
   ds.name = std::string(1, spec.name);
 
@@ -104,6 +124,13 @@ Dataset MakeDataset(char name, const Similarity& sim, double scale,
   ds.input = BuildOctInput(*ds.engine, log, ds.existing_tree, sim, pre,
                            &ds.stats);
   return ds;
+}
+
+Dataset MakeDataset(char name, const Similarity& sim, double scale,
+                    const DatasetOptions& options) {
+  auto ds = TryMakeDataset(name, sim, scale, options);
+  OCT_CHECK(ds.ok()) << ds.status().ToString();
+  return std::move(ds).value();
 }
 
 Dataset MakeDataset(char name, const Similarity& sim) {

@@ -22,6 +22,7 @@
 #include "data/preprocess.h"
 #include "data/query_log.h"
 #include "data/search_engine.h"
+#include "util/status.h"
 
 namespace oct {
 namespace data {
@@ -47,10 +48,16 @@ struct DatasetSpec {
   uint64_t seed = 0;
 };
 
+/// Registry entry for 'A'..'E'; InvalidArgument for anything else.
+Result<DatasetSpec> TrySpecFor(char name);
+
 /// Registry entry for 'A'..'E' (paper-scale sizes; scaled at build time).
+/// Aborts on unknown names — callers with untrusted input use TrySpecFor.
 DatasetSpec SpecFor(char name);
 
 /// Bench scale factor from OCT_BENCH_SCALE (default 0.08; "full" = 1.0).
+/// An unparsable or out-of-range value logs a warning and falls back to
+/// the default instead of aborting (env vars are operator input).
 double BenchScale();
 
 /// Optional knobs for MakeDataset.
@@ -66,7 +73,12 @@ struct DatasetOptions {
 
 /// Builds dataset `name` ('A'..'E') for the given variant (the variant
 /// picks the relevance threshold and the merge band) at `scale` times the
-/// paper size.
+/// paper size. InvalidArgument on an unknown name or non-positive scale.
+Result<Dataset> TryMakeDataset(char name, const Similarity& sim, double scale,
+                               const DatasetOptions& options = {});
+
+/// Aborting convenience wrappers over TryMakeDataset (trusted callers:
+/// benches, tests, examples with hard-coded names).
 Dataset MakeDataset(char name, const Similarity& sim, double scale,
                     const DatasetOptions& options = {});
 

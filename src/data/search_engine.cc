@@ -80,16 +80,36 @@ SearchEngine::SearchEngine(const Catalog* catalog, SearchOptions options)
   }
 }
 
+Status SearchEngine::ValidateQuery(const Query& query) const {
+  if (query.conjuncts.empty()) {
+    return Status::InvalidArgument("query has no conjuncts");
+  }
+  for (const auto& [attr, value] : query.conjuncts) {
+    if (attr >= postings_.size()) {
+      return Status::InvalidArgument(
+          "query attribute " + std::to_string(attr) +
+          " out of range (catalog has " + std::to_string(postings_.size()) +
+          " attributes)");
+    }
+    if (value >= postings_[attr].size()) {
+      return Status::InvalidArgument(
+          "query value " + std::to_string(value) + " out of range for "
+          "attribute " + std::to_string(attr) + " (has " +
+          std::to_string(postings_[attr].size()) + " values)");
+    }
+  }
+  return Status::OK();
+}
+
 std::vector<SearchEngine::Hit> SearchEngine::Search(const Query& query) const {
-  OCT_CHECK(!query.conjuncts.empty());
+  const Status valid = ValidateQuery(query);
+  OCT_CHECK(valid.ok()) << valid.ToString();
   const uint64_t qkey = Mix(options_.seed, query.Key());
   const uint64_t base_key = Mix(options_.seed, query.BaseKey());
 
   // Full matches: intersect postings, smallest list first.
   std::vector<const std::vector<ItemId>*> lists;
   for (const auto& [attr, value] : query.conjuncts) {
-    OCT_CHECK_LT(attr, postings_.size());
-    OCT_CHECK_LT(value, postings_[attr].size());
     lists.push_back(&postings_[attr][value]);
   }
   std::sort(lists.begin(), lists.end(),
@@ -181,6 +201,12 @@ std::vector<SearchEngine::Hit> SearchEngine::Search(const Query& query) const {
   return hits;
 }
 
+Result<std::vector<SearchEngine::Hit>> SearchEngine::TrySearch(
+    const Query& query) const {
+  OCT_RETURN_NOT_OK(ValidateQuery(query));
+  return Search(query);
+}
+
 ItemSet SearchEngine::ResultSet(const Query& query,
                                 double relevance_threshold) const {
   const std::vector<Hit> hits = Search(query);
@@ -190,6 +216,12 @@ ItemSet SearchEngine::ResultSet(const Query& query,
     if (h.relevance >= relevance_threshold) items.push_back(h.item);
   }
   return ItemSet(std::move(items));
+}
+
+Result<ItemSet> SearchEngine::TryResultSet(const Query& query,
+                                           double relevance_threshold) const {
+  OCT_RETURN_NOT_OK(ValidateQuery(query));
+  return ResultSet(query, relevance_threshold);
 }
 
 }  // namespace data

@@ -14,6 +14,7 @@
 
 #include "core/item_set.h"
 #include "data/catalog.h"
+#include "util/status.h"
 
 namespace oct {
 namespace data {
@@ -67,12 +68,27 @@ class SearchEngine {
 
   SearchEngine(const Catalog* catalog, SearchOptions options);
 
+  /// OK when the query is well-formed against this catalog: at least one
+  /// conjunct, every (attr, value) within schema bounds.
+  Status ValidateQuery(const Query& query) const;
+
   /// Hits sorted by descending relevance, truncated to top_k.
+  /// Precondition: ValidateQuery(query).ok() — aborts otherwise; callers
+  /// with untrusted queries use TrySearch.
   std::vector<Hit> Search(const Query& query) const;
+
+  /// Validating variant: InvalidArgument instead of aborting on a
+  /// malformed query (replayed logs, external callers).
+  Result<std::vector<Hit>> TrySearch(const Query& query) const;
 
   /// Items with relevance >= threshold (Section 5.1 "Computing result
   /// sets"; 0.8 for Jaccard/F1 runs, 0.9 for Perfect-Recall/Exact).
+  /// Precondition: ValidateQuery(query).ok().
   ItemSet ResultSet(const Query& query, double relevance_threshold) const;
+
+  /// Validating variant of ResultSet.
+  Result<ItemSet> TryResultSet(const Query& query,
+                               double relevance_threshold) const;
 
   const Catalog& catalog() const { return *catalog_; }
   const SearchOptions& options() const { return options_; }

@@ -1,5 +1,7 @@
 #include "eval/harness.h"
 
+#include <utility>
+
 #include "baselines/ic_q.h"
 #include "baselines/ic_s.h"
 #include "cct/cct.h"
@@ -35,14 +37,29 @@ std::vector<Algorithm> AllAlgorithms() {
 
 CategoryTree BuildTree(Algorithm algo, const data::Dataset& dataset,
                        const OctInput& input, const Similarity& sim) {
+  return BuildTree(algo, dataset, input, sim, /*cancel=*/nullptr,
+                   /*build_status=*/nullptr);
+}
+
+CategoryTree BuildTree(Algorithm algo, const data::Dataset& dataset,
+                       const OctInput& input, const Similarity& sim,
+                       const fault::CancelToken* cancel,
+                       Status* build_status) {
+  if (build_status) *build_status = Status::OK();
   switch (algo) {
     case Algorithm::kCtcr: {
       ctcr::CtcrOptions options;
-      return ctcr::BuildCategoryTree(input, sim, options).tree;
+      options.cancel = cancel;
+      ctcr::CtcrResult result = ctcr::BuildCategoryTree(input, sim, options);
+      if (build_status) *build_status = result.status;
+      return std::move(result.tree);
     }
     case Algorithm::kCct: {
       cct::CctOptions options;
-      return cct::BuildCategoryTree(input, sim, options).tree;
+      options.cancel = cancel;
+      cct::CctResult result = cct::BuildCategoryTree(input, sim, options);
+      if (build_status) *build_status = result.status;
+      return std::move(result.tree);
     }
     case Algorithm::kIcQ:
       return baselines::BuildIcQTree(input);

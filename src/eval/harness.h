@@ -11,6 +11,8 @@
 #include "core/scoring.h"
 #include "core/similarity.h"
 #include "data/datasets.h"
+#include "fault/cancel.h"
+#include "util/status.h"
 
 namespace oct {
 namespace eval {
@@ -42,6 +44,16 @@ AlgoRun RunAlgorithm(Algorithm algo, const data::Dataset& dataset,
 /// Builds (without scoring) the algorithm's tree.
 CategoryTree BuildTree(Algorithm algo, const data::Dataset& dataset,
                        const OctInput& input, const Similarity& sim);
+
+/// Deadline-aware variant: `cancel` (may be null) is threaded through the
+/// anytime algorithms (CTCR's MIS stage, CCT's clustering), which shed
+/// their refinement passes on expiry but always return a valid tree.
+/// `build_status` (may be null) receives OK, kDeadlineExceeded, or an
+/// injected failpoint error (`ctcr.build` / `cct.build`).
+CategoryTree BuildTree(Algorithm algo, const data::Dataset& dataset,
+                       const OctInput& input, const Similarity& sim,
+                       const fault::CancelToken* cancel,
+                       Status* build_status);
 
 }  // namespace eval
 }  // namespace oct

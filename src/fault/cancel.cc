@@ -1,0 +1,18 @@
+#include "fault/cancel.h"
+
+#include <limits>
+
+namespace oct {
+namespace fault {
+
+double CancelToken::RemainingSeconds() const {
+  const State& s = *state_;
+  if (s.cancelled.load(std::memory_order_acquire)) return 0.0;
+  if (!s.has_deadline) return std::numeric_limits<double>::infinity();
+  const double remaining =
+      std::chrono::duration<double>(s.deadline - Clock::now()).count();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+}  // namespace fault
+}  // namespace oct

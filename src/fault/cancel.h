@@ -1,0 +1,88 @@
+// Cooperative deadlines and cancellation for long builds. A CancelToken is
+// a cheap, copyable handle to shared cancellation state; the build layers
+// (CTCR, CCT, the MIS solver suite) poll it at phase boundaries and inside
+// their search loops, degrading to anytime behaviour: the caller always
+// gets a valid tree/solution, just built from the best-so-far state, with
+// Status kDeadlineExceeded reporting that the budget was hit.
+//
+//   fault::CancelToken budget = fault::CancelToken::WithDeadline(2.0);
+//   CtcrOptions opts; opts.cancel = &budget;
+//   CtcrResult r = ctcr::BuildCategoryTree(input, sim, opts);
+//   // r.tree valid; r.status.code() == kDeadlineExceeded if 2s elapsed.
+
+#ifndef OCT_FAULT_CANCEL_H_
+#define OCT_FAULT_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "util/status.h"
+
+namespace oct {
+namespace fault {
+
+class CancelToken {
+ public:
+  /// A token that never expires (until Cancel() is called).
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// A token that expires `seconds` of wall-clock from now.
+  static CancelToken WithDeadline(double seconds) {
+    CancelToken token;
+    token.state_->has_deadline = true;
+    token.state_->deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    return token;
+  }
+
+  /// Requests cancellation. Thread-safe; copies of this token observe it.
+  void Cancel() const {
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  /// True once cancelled or past the deadline. Safe to call concurrently;
+  /// cheap enough for loop-boundary polling (one atomic load, plus a clock
+  /// read until the deadline fires).
+  bool Cancelled() const {
+    State& s = *state_;
+    if (s.cancelled.load(std::memory_order_acquire)) return true;
+    if (s.has_deadline && Clock::now() >= s.deadline) {
+      // Latch so later checks skip the clock read. A racing store is
+      // idempotent.
+      s.cancelled.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// OK while running; kDeadlineExceeded once cancelled/expired.
+  Status status() const {
+    return Cancelled() ? Status::DeadlineExceeded("build budget exhausted")
+                       : Status::OK();
+  }
+
+  /// Seconds until expiry; +infinity when no deadline was set, 0 when past.
+  double RemainingSeconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Null-safe helper for the options-struct convention
+/// (`const CancelToken* cancel = nullptr`).
+inline bool Cancelled(const CancelToken* token) {
+  return token != nullptr && token->Cancelled();
+}
+
+}  // namespace fault
+}  // namespace oct
+
+#endif  // OCT_FAULT_CANCEL_H_

@@ -1,0 +1,177 @@
+// Failpoint injection, in the spirit of RocksDB/TiKV fail-point testing:
+// named sites compiled into the binary (`OCT_FAILPOINT("serve.publish")`)
+// that normally cost one relaxed atomic load, but can be armed — from tests
+// or from the environment — to return errors, inject latency, or crash the
+// process, so failure becomes a first-class, testable input rather than an
+// accident.
+//
+//   OCT_FAILPOINTS=serve.publish=error:0.3,mis.solve=delay:50ms ./server
+//
+// Spec grammar (comma-separated `name=action` entries):
+//   error[:p]        return Status::Internal with probability p (default 1)
+//   delay:<ms>[:p]   sleep <ms> milliseconds (suffix "ms" optional)
+//   crash[:p]        abort the process — one-shot (disarms after firing)
+//   off              disarm
+// Any action may carry a final `xN` segment capping total triggers, e.g.
+// `error:1:x2` fires twice then disarms ("one-shot" = x1, the crash
+// default). Probabilistic draws use a process-wide seeded RNG
+// (OCT_FAILPOINT_SEED) so chaos schedules replay deterministically.
+//
+// Armed evaluations are counted in the default obs::MetricsRegistry as
+// `fault.<name>.hits` (site reached while armed) and `fault.<name>.triggered`
+// (action actually fired).
+//
+// Sites compile out entirely with -DOCT_FAILPOINTS_ENABLED=0 (CMake option
+// OCT_FAILPOINTS=OFF): the macro collapses to an OK status the optimizer
+// deletes.
+
+#ifndef OCT_FAULT_FAILPOINT_H_
+#define OCT_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+#ifndef OCT_FAILPOINTS_ENABLED
+#define OCT_FAILPOINTS_ENABLED 1
+#endif
+
+namespace oct {
+namespace obs {
+class Counter;
+}  // namespace obs
+
+namespace fault {
+
+enum class FailAction {
+  kOff = 0,
+  /// Return a non-OK Status from the site.
+  kError,
+  /// Sleep before returning OK.
+  kDelay,
+  /// Abort the process (one-shot by default).
+  kCrash,
+};
+
+const char* FailActionName(FailAction action);
+
+/// Parsed arming descriptor for one failpoint.
+struct FailSpec {
+  FailAction action = FailAction::kOff;
+  /// Chance in [0, 1] that a hit triggers the action.
+  double probability = 1.0;
+  /// Sleep duration for kDelay, milliseconds.
+  double delay_ms = 0.0;
+  /// Status code returned by kError sites.
+  StatusCode error_code = StatusCode::kInternal;
+  /// Remaining triggers before auto-disarm; < 0 means unlimited.
+  int64_t max_triggers = -1;
+};
+
+/// One named injection site. Evaluate() is the fast path: a single
+/// acquire load and branch while disarmed.
+class FailPoint {
+ public:
+  Status Evaluate() {
+    if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+    return EvaluateArmed();
+  }
+
+  void Arm(FailSpec spec);
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Armed evaluations / actions fired since process start (also exported
+  /// as fault.<name>.hits / fault.<name>.triggered).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t triggered() const {
+    return triggered_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class FailPointRegistry;
+  explicit FailPoint(std::string name) : name_(std::move(name)) {}
+
+  Status EvaluateArmed();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> triggered_{0};
+  std::mutex mu_;  // Guards spec_ and the metric pointers below.
+  FailSpec spec_;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* triggered_counter_ = nullptr;
+};
+
+/// Owner and lookup table of failpoints. Get() registers on first use and
+/// returns a pointer valid for the registry's lifetime. The process-wide
+/// Default() registry arms itself from OCT_FAILPOINTS / OCT_FAILPOINT_SEED
+/// on first access.
+class FailPointRegistry {
+ public:
+  FailPointRegistry() = default;
+  FailPointRegistry(const FailPointRegistry&) = delete;
+  FailPointRegistry& operator=(const FailPointRegistry&) = delete;
+
+  FailPoint* Get(const std::string& name);
+
+  /// Arms one failpoint from an action string ("error:0.3", "delay:50ms",
+  /// "crash", "off").
+  Status Arm(const std::string& name, const std::string& action);
+
+  /// Arms a comma-separated schedule: "a=error:0.3,b=delay:50ms".
+  Status ArmFromSpec(const std::string& spec);
+
+  void DisarmAll();
+
+  /// Reseeds the probability stream (chaos reproducibility).
+  void Seed(uint64_t seed);
+
+  /// Names of currently armed failpoints, sorted.
+  std::vector<std::string> ArmedNames() const;
+
+  /// Process-wide registry (leaked singleton; env-armed on first access).
+  static FailPointRegistry* Default();
+
+  /// Parses one action string. Exposed for tests.
+  static Result<FailSpec> ParseAction(const std::string& action);
+
+ private:
+  friend class FailPoint;
+
+  /// Deterministic uniform draw in [0, 1) from the registry stream.
+  double NextUnit();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FailPoint>> points_;
+  uint64_t rng_state_ = 0x6f63745f666c74ULL;  // "oct_flt"
+};
+
+}  // namespace fault
+}  // namespace oct
+
+#if OCT_FAILPOINTS_ENABLED
+/// Evaluates the named failpoint; yields Status (OK unless an error action
+/// fires). `name` must be a string literal. Sites that can propagate do
+/// OCT_RETURN_NOT_OK(OCT_FAILPOINT("x")); fire-and-forget sites cast to
+/// void.
+#define OCT_FAILPOINT(name)                                      \
+  ([]() -> ::oct::Status {                                       \
+    static ::oct::fault::FailPoint* _oct_fp =                    \
+        ::oct::fault::FailPointRegistry::Default()->Get(name);   \
+    return _oct_fp->Evaluate();                                  \
+  }())
+#else
+#define OCT_FAILPOINT(name) (::oct::Status::OK())
+#endif
+
+#endif  // OCT_FAULT_FAILPOINT_H_

@@ -6,6 +6,7 @@
 #ifndef OCT_MIS_EXACT_SOLVER_H_
 #define OCT_MIS_EXACT_SOLVER_H_
 
+#include "fault/cancel.h"
 #include "mis/graph.h"
 
 namespace oct {
@@ -19,6 +20,9 @@ struct ExactOptions {
   /// search instead of complete search (conflict graphs of real inputs
   /// kernelize far below this).
   size_t max_component_vertices = 600;
+  /// Deadline/cancellation (not owned; may be null): the search stops at
+  /// the next poll boundary and keeps the incumbent, optimal == false.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Solves weighted MIS exactly (within the node budget). The returned

@@ -105,8 +105,9 @@ bool SwapPass(const Hypergraph& hg, std::vector<char>* in) {
 /// Exact branch-and-bound for small instances.
 class ExactHg {
  public:
-  ExactHg(const Hypergraph& hg, size_t max_nodes)
-      : hg_(hg), max_nodes_(max_nodes) {
+  ExactHg(const Hypergraph& hg, size_t max_nodes,
+          const fault::CancelToken* cancel)
+      : hg_(hg), max_nodes_(max_nodes), cancel_(cancel) {
     const size_t n = hg.num_vertices();
     order_.resize(n);
     std::iota(order_.begin(), order_.end(), 0);
@@ -135,6 +136,10 @@ class ExactHg {
       complete_ = false;
       return;
     }
+    if ((nodes_ & 1023u) == 0 && fault::Cancelled(cancel_)) {
+      complete_ = false;
+      return;
+    }
     if (idx == order_.size()) {
       if (weight > best_.weight + 1e-12) {
         best_ = ToSolution(hg_, in_);
@@ -153,6 +158,7 @@ class ExactHg {
 
   const Hypergraph& hg_;
   const size_t max_nodes_;
+  const fault::CancelToken* const cancel_;
   std::vector<VertexId> order_;
   std::vector<double> suffix_weight_;
   std::vector<char> in_;
@@ -185,7 +191,7 @@ MisSolution SolveHypergraphMis(const Hypergraph& hypergraph,
   }
   if (touched <= options.exact_vertex_limit) {
     hg_exact_solves->Increment();
-    ExactHg exact(hypergraph, options.max_nodes);
+    ExactHg exact(hypergraph, options.max_nodes, options.cancel);
     MisSolution sol = exact.Solve();
     OCT_DCHECK(hypergraph.IsIndependentSet(sol.vertices));
     return sol;
@@ -194,6 +200,7 @@ MisSolution SolveHypergraphMis(const Hypergraph& hypergraph,
   std::vector<char> in = GreedySelect(hypergraph);
   size_t rounds_run = 0;
   for (size_t round = 0; round < options.swap_rounds; ++round) {
+    if (fault::Cancelled(options.cancel)) break;
     ++rounds_run;
     if (!SwapPass(hypergraph, &in)) break;
   }

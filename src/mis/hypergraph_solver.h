@@ -7,6 +7,7 @@
 #ifndef OCT_MIS_HYPERGRAPH_SOLVER_H_
 #define OCT_MIS_HYPERGRAPH_SOLVER_H_
 
+#include "fault/cancel.h"
 #include "mis/graph.h"
 #include "mis/hypergraph.h"
 
@@ -22,6 +23,9 @@ struct HypergraphSolverOptions {
   /// Local-search swap passes.
   size_t swap_rounds = 4;
   uint64_t seed = 42;
+  /// Deadline/cancellation (not owned; may be null): the search stops at
+  /// the next poll boundary, keeping the best valid selection so far.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Computes a heavy independent set (no hyperedge fully selected).

@@ -74,6 +74,7 @@ MisSolution LocalSearchImprove(const Graph& graph, const MisSolution& initial,
   uint64_t rounds_run = 0;
   Rng rng(options.seed);
   for (size_t round = 0; round < options.rounds && n > 0; ++round) {
+    if (fault::Cancelled(options.cancel)) break;
     ++rounds_run;
     // Perturb: force a few random vertices in, evicting their neighbors.
     for (size_t p = 0; p < options.perturbation; ++p) {

@@ -5,6 +5,7 @@
 #ifndef OCT_MIS_LOCAL_SEARCH_H_
 #define OCT_MIS_LOCAL_SEARCH_H_
 
+#include "fault/cancel.h"
 #include "mis/graph.h"
 #include "util/rng.h"
 
@@ -17,6 +18,9 @@ struct LocalSearchOptions {
   /// Vertices force-inserted per perturbation.
   size_t perturbation = 2;
   uint64_t seed = 42;
+  /// Deadline/cancellation (not owned; may be null): rounds stop early and
+  /// the best IS found so far is returned.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Improves `initial` (must be an IS) by repeated (1,k)-swap passes and

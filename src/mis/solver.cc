@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "fault/failpoint.h"
 #include "mis/greedy.h"
 #include "mis/kernelizer.h"
 #include "mis/local_search.h"
@@ -15,6 +16,9 @@ namespace mis {
 
 MisSolution SolveMis(const Graph& graph, const MisOptions& options) {
   OCT_SPAN("mis/solve");
+  // Chaos hook: a kDelay spec here simulates a slow solve under load; an
+  // injected error is irrelevant to the value-returning API and ignored.
+  (void)OCT_FAILPOINT("mis.solve");
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   static obs::Counter* kernel_taken = reg->GetCounter("mis.kernel_taken");
   static obs::Counter* kernel_folded = reg->GetCounter("mis.kernel_folded");
@@ -44,6 +48,7 @@ MisSolution SolveMis(const Graph& graph, const MisOptions& options) {
     if (kernel.num_vertices() <= options.exact_kernel_limit) {
       ExactOptions exact;
       exact.max_nodes = options.max_nodes;
+      exact.cancel = options.cancel;
       kernel_sol = SolveExact(kernel, exact);
       exact_solves->Increment();
     } else {
@@ -53,6 +58,7 @@ MisSolution SolveMis(const Graph& graph, const MisOptions& options) {
       // Fall back to / improve with local search.
       LocalSearchOptions ls;
       ls.seed = options.seed;
+      ls.cancel = options.cancel;
       const MisSolution improved =
           LocalSearchImprove(kernel, SolveGreedy(kernel), ls);
       if (improved.weight > kernel_sol.weight) {

@@ -5,6 +5,7 @@
 #ifndef OCT_MIS_SOLVER_H_
 #define OCT_MIS_SOLVER_H_
 
+#include "fault/cancel.h"
 #include "mis/exact_solver.h"
 #include "mis/graph.h"
 
@@ -18,6 +19,10 @@ struct MisOptions {
   /// vertices; greedy + local search is used instead.
   size_t exact_kernel_limit = 20'000;
   uint64_t seed = 42;
+  /// Deadline/cancellation (not owned; may be null). MIS is a natural
+  /// anytime algorithm: on expiry the solver returns its best valid IS so
+  /// far with optimal == false.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Computes a heavy (often optimal) weighted independent set.

@@ -28,6 +28,22 @@ struct ServeStatsSnapshot {
   uint64_t rebuilds_triggered = 0;
   uint64_t rebuilds_published = 0;
   uint64_t rebuilds_discarded = 0;
+  /// Failed build attempts that were retried with backoff.
+  uint64_t rebuild_retries = 0;
+  /// Drifted batches folded into the pending-latest slot (rebuild busy).
+  uint64_t batches_coalesced = 0;
+  /// Drifted batches rejected because the circuit breaker was open.
+  uint64_t batches_rejected = 0;
+  /// Circuit-breaker open / close transitions.
+  uint64_t breaker_opened = 0;
+  uint64_t breaker_closed = 0;
+  /// Breaker state gauge: 0 = closed, 1 = open, 2 = half-open.
+  uint64_t breaker_state = 0;
+  /// Snapshots persisted / recovered from disk, and corrupt files
+  /// quarantined during recovery.
+  uint64_t snapshots_persisted = 0;
+  uint64_t snapshots_recovered = 0;
+  uint64_t snapshots_quarantined = 0;
   /// Total wall-clock spent in background rebuilds, microseconds.
   uint64_t rebuild_micros = 0;
   /// Version of the currently served snapshot (0 = none published yet).
@@ -66,6 +82,21 @@ class ServeStats {
   void RecordRollback() { rollbacks_->Increment(); }
   void RecordRebuildTriggered() { rebuilds_triggered_->Increment(); }
   void RecordRebuildFinished(bool published, double seconds);
+  void RecordRebuildRetried() { rebuild_retries_->Increment(); }
+  void RecordBatchCoalesced() { batches_coalesced_->Increment(); }
+  void RecordBatchRejected() { batches_rejected_->Increment(); }
+  void RecordBreakerOpened() {
+    breaker_opened_->Increment();
+    breaker_state_->Set(1);
+  }
+  void RecordBreakerHalfOpen() { breaker_state_->Set(2); }
+  void RecordBreakerClosed() {
+    breaker_closed_->Increment();
+    breaker_state_->Set(0);
+  }
+  void RecordSnapshotPersisted() { snapshots_persisted_->Increment(); }
+  void RecordSnapshotRecovered() { snapshots_recovered_->Increment(); }
+  void RecordSnapshotQuarantined() { snapshots_quarantined_->Increment(); }
 
   ServeStatsSnapshot Snapshot() const;
 
@@ -85,8 +116,17 @@ class ServeStats {
   obs::Counter* rebuilds_triggered_;
   obs::Counter* rebuilds_published_;
   obs::Counter* rebuilds_discarded_;
+  obs::Counter* rebuild_retries_;
+  obs::Counter* batches_coalesced_;
+  obs::Counter* batches_rejected_;
+  obs::Counter* breaker_opened_;
+  obs::Counter* breaker_closed_;
+  obs::Counter* snapshots_persisted_;
+  obs::Counter* snapshots_recovered_;
+  obs::Counter* snapshots_quarantined_;
   obs::Counter* rebuild_micros_;
   obs::Gauge* current_version_;
+  obs::Gauge* breaker_state_;
   obs::Histogram* rebuild_us_;
 };
 

@@ -91,6 +91,22 @@ struct VersionInfo {
   std::string note;
 };
 
+class ServeStats;
+
+/// What RecoverLatest found on disk.
+struct RecoveryReport {
+  /// Version the recovered tree was republished as in this store.
+  TreeVersion published_version = 0;
+  /// Version recorded in the snapshot file it was recovered from.
+  TreeVersion persisted_version = 0;
+  /// Path of the file the tree was recovered from.
+  std::string path;
+  /// Candidate snapshot files inspected (newest version first).
+  size_t files_scanned = 0;
+  /// Corrupt files renamed to `<name>.corrupt` and skipped.
+  size_t files_quarantined = 0;
+};
+
 class TreeStore {
  public:
   /// Retains the most recent `retain` published versions (min 1; the
@@ -132,6 +148,25 @@ class TreeStore {
   Result<std::shared_ptr<const TreeSnapshot>> Rollback(TreeVersion version);
 
   size_t retain_limit() const { return retain_; }
+
+  /// Persists `snapshot` (default: the current snapshot) into `dir` as
+  /// `snapshot-<version>.oct`: a CRC32-checksummed payload written to a
+  /// temp file, fsync'd, then atomically renamed into place. A crash at any
+  /// point leaves either the previous file set or the complete new file —
+  /// never a torn file recovery would trust. `stats` (may be null) receives
+  /// the persistence counters.
+  Status PersistSnapshot(const std::string& dir,
+                         std::shared_ptr<const TreeSnapshot> snapshot = nullptr,
+                         ServeStats* stats = nullptr);
+
+  /// Scans `dir` for `snapshot-*.oct` files, newest version first, and
+  /// publishes the first one whose checksum and structure verify (as a new
+  /// version, note "recovered:v<N>"). Files that fail verification are
+  /// quarantined — renamed to `<name>.corrupt` — and skipped; leftover
+  /// `.tmp` files from a crashed writer are ignored. NotFound when no valid
+  /// snapshot exists.
+  Result<RecoveryReport> RecoverLatest(const std::string& dir,
+                                       ServeStats* stats = nullptr);
 
  private:
   std::shared_ptr<const TreeSnapshot> FindRetainedLocked(

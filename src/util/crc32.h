@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. Guards the
+// on-disk snapshot format of serve::TreeStore: a torn or bit-rotted file is
+// detected at recovery time instead of being served.
+
+#ifndef OCT_UTIL_CRC32_H_
+#define OCT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace oct {
+
+/// CRC-32 of `size` bytes at `data` (standard init/final xor of ~0).
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(const std::string& s) {
+  return Crc32(s.data(), s.size());
+}
+
+}  // namespace oct
+
+#endif  // OCT_UTIL_CRC32_H_

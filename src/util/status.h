@@ -22,6 +22,11 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,
   kInternal,
+  /// A wall-clock budget (fault::CancelToken deadline) expired before the
+  /// operation finished; anytime operations still return best-so-far state.
+  kDeadlineExceeded,
+  /// Durable data is unrecoverable (checksum mismatch, truncated snapshot).
+  kDataLoss,
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -55,6 +60,17 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  /// Arbitrary-code constructor (failpoint injection, code translation).
+  /// Precondition: code != kOk — an OK status never carries a message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -68,9 +84,6 @@ class Status {
   }
 
  private:
-  Status(StatusCode code, std::string msg)
-      : code_(code), message_(std::move(msg)) {}
-
   StatusCode code_;
   std::string message_;
 };
@@ -108,6 +121,22 @@ class Result {
     ::oct::Status _st = (expr);          \
     if (!_st.ok()) return _st;           \
   } while (false)
+
+/// Evaluates a Result-returning expression; on success assigns the value
+/// into `lhs` (which may be a declaration), on error propagates the status.
+///
+///   OCT_ASSIGN_OR_RETURN(auto spec, TrySpecFor(name));
+#define OCT_ASSIGN_OR_RETURN(lhs, expr) \
+  OCT_ASSIGN_OR_RETURN_IMPL_(           \
+      OCT_STATUS_CONCAT_(_oct_result_, __LINE__), lhs, expr)
+
+#define OCT_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#define OCT_STATUS_CONCAT_(a, b) OCT_STATUS_CONCAT_IMPL_(a, b)
+#define OCT_STATUS_CONCAT_IMPL_(a, b) a##b
 
 }  // namespace oct
 

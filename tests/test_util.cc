@@ -9,6 +9,7 @@
 #include <set>
 #include <thread>
 
+#include "util/crc32.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -52,6 +53,62 @@ TEST(Result, HoldsError) {
   Result<int> r(Status::Internal("boom"));
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Status, ResilienceCodesCarryNames) {
+  const Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: budget spent");
+  const Status loss = Status::DataLoss("bad checksum");
+  EXPECT_EQ(loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(loss.ToString(), "DataLoss: bad checksum");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(Status, ArbitraryCodeConstructor) {
+  const Status s(StatusCode::kResourceExhausted, "injected");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "injected");
+}
+
+TEST(Result, AssignOrReturnUnwrapsValue) {
+  auto make = [](bool ok) -> Result<int> {
+    if (!ok) return Status::NotFound("no value");
+    return 7;
+  };
+  auto doubled = [&](bool ok) -> Result<int> {
+    OCT_ASSIGN_OR_RETURN(const int v, make(ok));
+    return v * 2;
+  };
+  auto good = doubled(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 14);
+  EXPECT_EQ(doubled(false).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, AssignOrReturnComposesTwicePerFunction) {
+  // The macro mints a distinct temporary per line; two in one scope must
+  // not collide.
+  auto sum = []() -> Result<int> {
+    OCT_ASSIGN_OR_RETURN(const int a, Result<int>(1));
+    OCT_ASSIGN_OR_RETURN(const int b, Result<int>(2));
+    return a + b;
+  };
+  auto r = sum();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 3);
+}
+
+TEST(Crc32, MatchesIeeeCheckValueAndDetectsFlips) {
+  // The standard CRC-32 check value for the ASCII digits "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  std::string payload = "category tree payload";
+  const uint32_t good = Crc32(payload);
+  payload[3] ^= 0x01;  // Single-bit flip must change the checksum.
+  EXPECT_NE(Crc32(payload), good);
 }
 
 TEST(Rng, DeterministicForSeed) {

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Chaos runner: replays randomized failpoint schedules against the serving
+# stack's chaos-capable test binaries (tests/test_fault and the chaos test
+# in tests/test_serve_stress). Each round draws per-site error/delay
+# probabilities from a seeded stream and injects them through
+# OCT_FAILPOINTS / OCT_FAILPOINT_SEED, so any failing round is exactly
+# reproducible from the seed it prints.
+#
+#   $ tools/run_chaos.sh              # 3 rounds against build/
+#   $ tools/run_chaos.sh 10           # 10 rounds
+#   $ tools/run_chaos.sh 5 tsan       # 5 rounds under ThreadSanitizer
+#   $ OCT_CHAOS_SEED=99 tools/run_chaos.sh   # different schedule stream
+#
+# Only `error` and `delay` actions are drawn: `crash` one-shots abort the
+# test process by design and are exercised separately (and are unsafe
+# under TSan).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ROUNDS="${1:-3}"
+MODE="${2:-plain}"
+SEED="${OCT_CHAOS_SEED:-20260806}"
+
+case "$MODE" in
+  plain)
+    BUILD_DIR="$REPO_ROOT/build"
+    if [ ! -d "$BUILD_DIR" ]; then
+      cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+    fi
+    ;;
+  tsan)
+    BUILD_DIR="$REPO_ROOT/build-tsan"
+    export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+    cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+      -DOCT_SANITIZE=thread \
+      -DOCT_BUILD_BENCHMARKS=OFF \
+      -DOCT_BUILD_EXAMPLES=OFF
+    ;;
+  *)
+    echo "usage: $0 [rounds] [plain|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target test_fault test_serve_stress
+
+# Deterministic schedule stream: bash's $RANDOM reseeds from assignment.
+RANDOM="$SEED"
+
+# prob <max_percent> — a probability in [0, max_percent/100) with 2 digits.
+prob() {
+  printf '0.%02d' "$((RANDOM % $1))"
+}
+
+for round in $(seq 1 "$ROUNDS"); do
+  fp_seed="$((SEED + round))"
+  schedule="serve.rebuild=error:$(prob 40)"
+  schedule="$schedule,serve.publish=error:$(prob 30)"
+  schedule="$schedule,serve.persist=error:$(prob 40)"
+  schedule="$schedule,serve.persist.rename=error:$(prob 30)"
+  schedule="$schedule,mis.solve=delay:$((RANDOM % 3 + 1))ms:$(prob 60)"
+  echo "== chaos round $round/$ROUNDS  seed=$fp_seed"
+  echo "   OCT_FAILPOINTS=$schedule"
+  OCT_FAILPOINTS="$schedule" OCT_FAILPOINT_SEED="$fp_seed" \
+    "$BUILD_DIR/tests/test_serve_stress" \
+    --gtest_filter='ServeStress.ReadersSurviveChaosScheduleWithRecoverableSnapshots'
+done
+
+echo "chaos run clean: $ROUNDS round(s), base seed $SEED, mode $MODE."
