@@ -18,6 +18,9 @@
 #include "core/scoring.h"
 #include "ctcr/conflicts.h"
 #include "ctcr/ctcr.h"
+#include "kernel/bitset.h"
+#include "kernel/item_set_index.h"
+#include "kernel/pairwise.h"
 #include "mis/greedy.h"
 #include "mis/local_search.h"
 #include "mis/solver.h"
@@ -71,6 +74,123 @@ void BM_ItemSetGallopingIntersection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ItemSetGallopingIntersection)->Arg(10000)->Arg(100000);
+
+// --- kernel section ---------------------------------------------------
+// The numbers behind the routing constants in DESIGN.md §8: word-parallel
+// AND+popcount vs the sorted merge at a fixed universe and varying set
+// size (the crossover), the probe form, the index build, and the two
+// pairwise drivers.
+
+void BM_BitSetIntersectionCount(benchmark::State& state) {
+  // Universe sweep at ~50% density: pure words/sec of the AND+popcount
+  // loop, independent of how many items the operands hold.
+  Rng rng(21);
+  const size_t universe = static_cast<size_t>(state.range(0));
+  kernel::BitSet a(universe), b(universe);
+  a.AssignFrom(RandomSet(&rng, universe, universe / 2));
+  b.AssignFrom(RandomSet(&rng, universe, universe / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectionCount(b));
+  }
+}
+BENCHMARK(BM_BitSetIntersectionCount)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BitsetVsMergeCrossover(benchmark::State& state) {
+  // Fixed universe (20k items = 313 words), sweeping |a|+|b|. Compare
+  // against BM_MergeAtCrossoverScale below at the same sizes: the bitset
+  // loop wins once words <= words_per_merge_step * (|a|+|b|) — the
+  // ItemSetIndexOptions constant, measured in DESIGN.md §8.
+  Rng rng(22);
+  const size_t universe = 20000;
+  const size_t size = static_cast<size_t>(state.range(0));
+  kernel::BitSet a(universe), b(universe);
+  a.AssignFrom(RandomSet(&rng, universe, size));
+  b.AssignFrom(RandomSet(&rng, universe, size));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectionCount(b));
+  }
+}
+BENCHMARK(BM_BitsetVsMergeCrossover)->Arg(20)->Arg(40)->Arg(80)->Arg(320);
+
+void BM_MergeAtCrossoverScale(benchmark::State& state) {
+  // The merge side of the crossover: same universe and sizes as
+  // BM_BitsetVsMergeCrossover, through ItemSet::IntersectionSize.
+  Rng rng(22);
+  const size_t size = static_cast<size_t>(state.range(0));
+  const ItemSet a = RandomSet(&rng, 20000, size);
+  const ItemSet b = RandomSet(&rng, 20000, size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectionSize(b));
+  }
+}
+BENCHMARK(BM_MergeAtCrossoverScale)->Arg(20)->Arg(40)->Arg(80)->Arg(320);
+
+void BM_ItemSetIndexBuild(benchmark::State& state) {
+  const OctInput input =
+      RandomInput(20000, static_cast<size_t>(state.range(0)), 60, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel::ItemSetIndex::Build(input));
+  }
+}
+BENCHMARK(BM_ItemSetIndexBuild)
+    ->Arg(200)
+    ->Arg(800)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RoutedIntersectionSize(benchmark::State& state) {
+  // All-pairs point queries through the index router (bitmaps + probes +
+  // merges mixed, per the density heuristic).
+  const OctInput input = RandomInput(5000, 128, 120, 24);
+  const kernel::ItemSetIndex index = kernel::ItemSetIndex::Build(input);
+  for (auto _ : state) {
+    size_t sum = 0;
+    for (SetId a = 0; a < input.num_sets(); ++a) {
+      for (SetId b = a + 1; b < input.num_sets(); ++b) {
+        sum += index.IntersectionSize(a, b);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_RoutedIntersectionSize)->Unit(benchmark::kMicrosecond);
+
+void BM_OverlapScan(benchmark::State& state) {
+  // The candidate-pruned pairwise driver behind conflict enumeration.
+  const OctInput input =
+      RandomInput(20000, static_cast<size_t>(state.range(0)), 60, 25);
+  const kernel::ItemSetIndex index = kernel::ItemSetIndex::Build(input);
+  for (auto _ : state) {
+    const kernel::OverlapScanStats stats = kernel::ScanOverlapChunks(
+        index, nullptr,
+        [](size_t begin, size_t end, kernel::OverlapScratch& scratch) {
+          for (size_t q = begin; q < end; ++q) {
+            scratch.Partners(static_cast<SetId>(q), /*later_only=*/true);
+          }
+        });
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_OverlapScan)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CondensedDistances(benchmark::State& state) {
+  const OctInput input =
+      RandomInput(10000, static_cast<size_t>(state.range(0)), 50, 26);
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  const cct::Embeddings emb = cct::EmbedInputSets(input, sim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel::CondensedEuclideanDistances(
+        emb.rows(), emb.squared_norms(), DefaultThreadPool()));
+  }
+}
+BENCHMARK(BM_CondensedDistances)
+    ->Arg(400)
+    ->Arg(1200)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- end kernel section -----------------------------------------------
 
 void BM_ConflictAnalysis(benchmark::State& state) {
   const OctInput input =

@@ -21,17 +21,23 @@ inline size_t CondensedIndex(size_t n, size_t i, size_t j) {
 Dendrogram AgglomerativeCluster(
     size_t n, const std::function<double(size_t, size_t)>& distance,
     Linkage linkage, const fault::CancelToken* cancel) {
-  Dendrogram dendro;
-  dendro.num_leaves = n;
-  if (n <= 1) return dendro;
-
   // Condensed distance matrix (float to halve memory).
-  std::vector<float> dist(n * (n - 1) / 2);
+  std::vector<float> dist(n <= 1 ? 0 : n * (n - 1) / 2);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
       dist[CondensedIndex(n, i, j)] = static_cast<float>(distance(i, j));
     }
   }
+  return AgglomerativeClusterCondensed(n, std::move(dist), linkage, cancel);
+}
+
+Dendrogram AgglomerativeClusterCondensed(size_t n, std::vector<float> dist,
+                                         Linkage linkage,
+                                         const fault::CancelToken* cancel) {
+  Dendrogram dendro;
+  dendro.num_leaves = n;
+  if (n <= 1) return dendro;
+  OCT_CHECK_EQ(dist.size(), n * (n - 1) / 2);
   auto d = [&](size_t a, size_t b) -> float& {
     return a < b ? dist[CondensedIndex(n, a, b)]
                  : dist[CondensedIndex(n, b, a)];

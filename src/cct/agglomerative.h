@@ -51,6 +51,16 @@ Dendrogram AgglomerativeCluster(
     Linkage linkage = Linkage::kAverage,
     const fault::CancelToken* cancel = nullptr);
 
+/// Same clustering over a precomputed condensed distance matrix
+/// (upper triangle for i < j at index i*n - i*(i+1)/2 + (j-i-1), the
+/// layout kernel::CondensedEuclideanDistances emits), consumed in place as
+/// scratch. For n <= 1 `dist` may be empty. Equivalent to the oracle
+/// overload with distance(i, j) == dist[...] — clustering is exactly the
+/// same; only the matrix-filling step moves to the (parallel) caller.
+Dendrogram AgglomerativeClusterCondensed(
+    size_t n, std::vector<float> dist, Linkage linkage = Linkage::kAverage,
+    const fault::CancelToken* cancel = nullptr);
+
 }  // namespace cct
 }  // namespace oct
 

@@ -4,6 +4,7 @@
 
 #include "cct/embedding.h"
 #include "core/scoring.h"
+#include "kernel/pairwise.h"
 #include "core/tree_ops.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
@@ -80,7 +81,7 @@ CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   Embeddings emb;
   {
     OCT_SPAN("cct/embed");
-    emb = EmbedInputSets(input, sim);
+    emb = EmbedInputSets(input, sim, options.index);
   }
   result.seconds_embed = timer.ElapsedSeconds();
   embed_us->Record(result.seconds_embed * 1e6);
@@ -90,9 +91,12 @@ CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   std::vector<NodeId> cat_of;
   {
     OCT_SPAN("cct/cluster");
-    const Dendrogram dendro = AgglomerativeCluster(
-        n, [&](size_t a, size_t b) { return emb.Distance(a, b); },
-        options.linkage, options.cancel);
+    // Matrix filled by the parallel kernel (bit-identical to the serial
+    // emb.Distance oracle — see kernel/pairwise.h); clustering unchanged.
+    std::vector<float> dist = kernel::CondensedEuclideanDistances(
+        emb.rows(), emb.squared_norms(), options.pool);
+    const Dendrogram dendro = AgglomerativeClusterCondensed(
+        n, std::move(dist), options.linkage, options.cancel);
     result.tree = TreeFromDendrogram(input, dendro, &cat_of);
   }
   result.seconds_cluster = timer.ElapsedSeconds();

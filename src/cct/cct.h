@@ -16,14 +16,25 @@
 #include "core/similarity.h"
 #include "fault/cancel.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace oct {
+namespace kernel {
+class ItemSetIndex;
+}  // namespace kernel
+
 namespace cct {
 
 struct CctOptions {
   Linkage linkage = Linkage::kAverage;
   /// Disable to skip condensing — ablation knob.
   bool condense = true;
+  /// Thread pool for the distance-matrix build (null: process default).
+  ThreadPool* pool = nullptr;
+  /// Prebuilt kernel::ItemSetIndex over the input (not owned; may be null,
+  /// in which case CCT builds the inverted index itself). The resulting
+  /// tree is identical either way.
+  const kernel::ItemSetIndex* index = nullptr;
   /// Deadline/cancellation (not owned; may be null). On expiry the
   /// clustering fast-finishes its remaining merges and condensing is
   /// skipped; the result is always a valid, model-checked tree with

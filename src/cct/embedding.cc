@@ -35,19 +35,28 @@ std::vector<float> Embeddings::Dense(size_t r, size_t dims) const {
   return out;
 }
 
-Embeddings EmbedInputSets(const OctInput& input, const Similarity& sim) {
+Embeddings EmbedInputSets(const OctInput& input, const Similarity& sim,
+                          const kernel::ItemSetIndex* index) {
   const size_t n = input.num_sets();
   Embeddings emb;
   emb.rows_.resize(n);
   emb.norms_.assign(n, 0.0);
-  const auto index = input.BuildInvertedIndex();
+  std::vector<std::vector<SetId>> local_inverted;
+  const std::vector<std::vector<SetId>>* inverted;
+  if (index != nullptr) {
+    OCT_DCHECK(&index->input() == &input);
+    inverted = &index->inverted();
+  } else {
+    local_inverted = input.BuildInvertedIndex();
+    inverted = &local_inverted;
+  }
 
   std::vector<uint32_t> inter(n, 0);
   std::vector<SetId> touched;
   for (SetId q = 0; q < n; ++q) {
     touched.clear();
     for (ItemId item : input.set(q).items) {
-      for (SetId other : index[item]) {
+      for (SetId other : (*inverted)[item]) {
         if (inter[other] == 0) touched.push_back(other);
         ++inter[other];
       }

@@ -12,6 +12,7 @@
 
 #include "core/input.h"
 #include "core/similarity.h"
+#include "kernel/pairwise.h"
 
 namespace oct {
 namespace cct {
@@ -19,16 +20,19 @@ namespace cct {
 /// Sparse row-major matrix of the set embeddings.
 class Embeddings {
  public:
-  struct Entry {
-    uint32_t col;
-    float value;
-  };
+  /// Shared with the kernel distance-matrix driver so rows hand over
+  /// without conversion.
+  using Entry = kernel::SparseVecEntry;
 
   size_t num_rows() const { return rows_.size(); }
   const std::vector<Entry>& row(size_t r) const { return rows_[r]; }
 
+  /// All rows (the layout CondensedEuclideanDistances consumes).
+  const std::vector<std::vector<Entry>>& rows() const { return rows_; }
+
   /// Squared Euclidean norm of a row.
   double SquaredNorm(size_t r) const { return norms_[r]; }
+  const std::vector<double>& squared_norms() const { return norms_; }
 
   /// Euclidean distance between two rows.
   double Distance(size_t a, size_t b) const;
@@ -37,7 +41,8 @@ class Embeddings {
   std::vector<float> Dense(size_t r, size_t dims) const;
 
   friend Embeddings EmbedInputSets(const OctInput& input,
-                                   const Similarity& sim);
+                                   const Similarity& sim,
+                                   const kernel::ItemSetIndex* index);
 
  private:
   std::vector<std::vector<Entry>> rows_;
@@ -49,7 +54,10 @@ class Embeddings {
 /// Perfect-Recall it is (recall + precision) / 2; for Exact it is the
 /// Jaccard similarity (the natural graded proxy, since the 0/1 Exact
 /// function embeds every distinct set at distance sqrt(2) from every other).
-Embeddings EmbedInputSets(const OctInput& input, const Similarity& sim);
+/// `index` (optional) supplies a prebuilt inverted index over `input`;
+/// results are identical with or without it.
+Embeddings EmbedInputSets(const OctInput& input, const Similarity& sim,
+                          const kernel::ItemSetIndex* index = nullptr);
 
 }  // namespace cct
 }  // namespace oct

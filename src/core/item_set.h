@@ -3,6 +3,9 @@
 // Items are dense 32-bit ids into a finite universe U. Sets are stored as
 // sorted unique vectors; all set algebra is merge-based. Intersection
 // *counting* (no materialization) is the hot path of conflict enumeration.
+// Dense sets additionally get bitmap acceleration through
+// kernel::ItemSetIndex (see kernel/bitset.h); ItemSet stays the canonical
+// representation.
 
 #ifndef OCT_CORE_ITEM_SET_H_
 #define OCT_CORE_ITEM_SET_H_
@@ -26,8 +29,9 @@ class ItemSet {
   explicit ItemSet(std::vector<ItemId> items);
   ItemSet(std::initializer_list<ItemId> items);
 
-  /// Builds from a vector already known to be sorted and unique (no check in
-  /// release builds).
+  /// Builds from a vector already known to be sorted and unique. Debug
+  /// builds assert both properties (OCT_DCHECK); release builds trust the
+  /// caller and skip the O(n) check.
   static ItemSet FromSorted(std::vector<ItemId> sorted_unique);
 
   size_t size() const { return items_.size(); }

@@ -1,8 +1,8 @@
 #include "core/scoring.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "kernel/scratch.h"
 #include "util/logging.h"
 
 namespace oct {
@@ -31,16 +31,19 @@ std::vector<std::vector<NodeId>> BuildDirectIndex(const CategoryTree& tree,
 SetCover ScoreOneSet(const OctInput& input, const CategoryTree& tree,
                      const Similarity& sim,
                      const std::vector<std::vector<NodeId>>& direct_index,
-                     const std::vector<size_t>& sizes, SetId q) {
+                     const std::vector<size_t>& sizes,
+                     kernel::DenseCounter* inter, SetId q) {
   const CandidateSet& cs = input.set(q);
   // Intersection size of q with every category that shares an item with it:
-  // bump the direct node and all its ancestors once per shared item.
-  std::unordered_map<NodeId, size_t> inter;
+  // bump the direct node and all its ancestors once per shared item. The
+  // dense counter resets in O(categories touched), so one per worker
+  // amortizes across the chunk (the tie-break chain below is a total
+  // order, so iteration order does not affect the winner).
   for (ItemId item : cs.items) {
     for (NodeId leaf_node : direct_index[item]) {
       NodeId cur = leaf_node;
       while (cur != kInvalidNode) {
-        ++inter[cur];
+        inter->Increment(cur);
         cur = tree.node(cur).parent;
       }
     }
@@ -48,7 +51,8 @@ SetCover ScoreOneSet(const OctInput& input, const CategoryTree& tree,
   SetCover cover;
   double best_precision = -1.0;
   size_t best_depth = 0;
-  for (const auto& [node, count] : inter) {
+  for (const NodeId node : inter->touched()) {
+    const size_t count = inter->count(node);
     const double raw = sim.RawFromSizes(cs.items.size(), sizes[node], count);
     const double score = sim.ScoreFromSizes(cs.items.size(), sizes[node],
                                             count, cs.delta_override);
@@ -77,6 +81,7 @@ SetCover ScoreOneSet(const OctInput& input, const CategoryTree& tree,
     }
   }
   cover.covered = cover.score > 0.0;
+  inter->Reset();
   return cover;
 }
 
@@ -90,9 +95,10 @@ TreeScore ScoreTree(const OctInput& input, const CategoryTree& tree,
   const auto sizes = tree.ComputeItemSetSizes();
 
   auto worker = [&](size_t begin, size_t end) {
+    kernel::DenseCounter inter(tree.num_nodes());
     for (size_t q = begin; q < end; ++q) {
       result.per_set[q] = ScoreOneSet(input, tree, sim, direct_index, sizes,
-                                      static_cast<SetId>(q));
+                                      &inter, static_cast<SetId>(q));
     }
   };
   if (pool == nullptr && input.num_sets() >= 256) {

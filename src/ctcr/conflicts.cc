@@ -4,6 +4,8 @@
 #include <mutex>
 #include <numeric>
 
+#include "kernel/item_set_index.h"
+#include "kernel/pairwise.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -12,39 +14,6 @@ namespace oct {
 namespace ctcr {
 
 namespace {
-
-/// Intersection sizes of one set against all later-id sets sharing an item,
-/// via the inverted index. Returns pairs (other_id, inter, inter_strict).
-struct PairInter {
-  SetId other;
-  uint32_t inter;
-  uint32_t inter_strict;
-};
-
-void IntersectingPartners(const OctInput& input,
-                          const std::vector<std::vector<SetId>>& index,
-                          SetId q, std::vector<uint32_t>* inter_buf,
-                          std::vector<uint32_t>* strict_buf,
-                          std::vector<PairInter>* out) {
-  out->clear();
-  std::vector<SetId> touched;
-  const bool relaxed = input.HasRelaxedBounds();
-  for (ItemId item : input.set(q).items) {
-    const bool strict = input.ItemBound(item) == 1;
-    for (SetId other : index[item]) {
-      if (other <= q) continue;  // Each unordered pair handled once.
-      if ((*inter_buf)[other] == 0) touched.push_back(other);
-      ++(*inter_buf)[other];
-      if (!relaxed || strict) ++(*strict_buf)[other];
-    }
-  }
-  out->reserve(touched.size());
-  for (SetId other : touched) {
-    out->push_back({other, (*inter_buf)[other], (*strict_buf)[other]});
-    (*inter_buf)[other] = 0;
-    (*strict_buf)[other] = 0;
-  }
-}
 
 PairStats MakeStats(const OctInput& input, const ConflictAnalysis& analysis,
                     SetId a, SetId b, uint32_t inter, uint32_t inter_strict) {
@@ -64,7 +33,8 @@ PairStats MakeStats(const OctInput& input, const ConflictAnalysis& analysis,
 }  // namespace
 
 ConflictAnalysis AnalyzeConflicts(const OctInput& input, const Similarity& sim,
-                                  bool find_3conflicts, ThreadPool* pool) {
+                                  bool find_3conflicts, ThreadPool* pool,
+                                  const kernel::ItemSetIndex* index) {
   OCT_SPAN("ctcr/analyze_conflicts");
   const size_t n = input.num_sets();
   ConflictAnalysis analysis;
@@ -86,47 +56,50 @@ ConflictAnalysis AnalyzeConflicts(const OctInput& input, const Similarity& sim,
   for (uint32_t r = 0; r < n; ++r) analysis.rank[analysis.by_rank[r]] = r;
 
   const ConflictPolicy policy(sim);
-  const auto index = input.BuildInvertedIndex();
+  kernel::ItemSetIndex local_index;
+  if (index == nullptr) {
+    local_index = kernel::ItemSetIndex::Build(input);
+    index = &local_index;
+  }
 
-  // Parallel 2-conflict scan over intersecting pairs.
-  if (pool == nullptr) pool = DefaultThreadPool();
+  // Parallel 2-conflict scan over intersecting pairs (disjoint pairs are
+  // pruned by the kernel driver and never examined).
   std::mutex merge_mu;
   std::vector<std::pair<SetId, SetId>> conflicts2;
   std::vector<std::pair<SetId, SetId>> must_pairs;
   size_t pairs_examined = 0;
   {
   OCT_SPAN("ctcr/scan_pairs");
-  pool->ParallelFor(n, [&](size_t begin, size_t end) {
-    std::vector<uint32_t> inter_buf(n, 0);
-    std::vector<uint32_t> strict_buf(n, 0);
-    std::vector<PairInter> partners;
-    std::vector<std::pair<SetId, SetId>> local_conflicts;
-    std::vector<std::pair<SetId, SetId>> local_must;
-    size_t local_pairs = 0;
-    for (size_t q = begin; q < end; ++q) {
-      IntersectingPartners(input, index, static_cast<SetId>(q), &inter_buf,
-                           &strict_buf, &partners);
-      local_pairs += partners.size();
-      for (const PairInter& pi : partners) {
-        const PairStats stats =
-            MakeStats(input, analysis, static_cast<SetId>(q), pi.other,
-                      pi.inter, pi.inter_strict);
-        const bool together = policy.CanCoverTogether(stats);
-        const bool separately = policy.CanCoverSeparately(stats);
-        if (!together && !separately) {
-          local_conflicts.push_back(
-              {static_cast<SetId>(q), pi.other});
-        } else if (together && !separately) {
-          local_must.push_back({static_cast<SetId>(q), pi.other});
+  kernel::ScanOverlapChunks(
+      *index, pool,
+      [&](size_t begin, size_t end, kernel::OverlapScratch& scratch) {
+        std::vector<std::pair<SetId, SetId>> local_conflicts;
+        std::vector<std::pair<SetId, SetId>> local_must;
+        size_t local_pairs = 0;
+        for (size_t q = begin; q < end; ++q) {
+          const std::vector<kernel::PairCount>& partners =
+              scratch.Partners(static_cast<SetId>(q), /*later_only=*/true);
+          local_pairs += partners.size();
+          for (const kernel::PairCount& pi : partners) {
+            const PairStats stats =
+                MakeStats(input, analysis, static_cast<SetId>(q), pi.other,
+                          pi.inter, pi.inter_strict);
+            const bool together = policy.CanCoverTogether(stats);
+            const bool separately = policy.CanCoverSeparately(stats);
+            if (!together && !separately) {
+              local_conflicts.push_back({static_cast<SetId>(q), pi.other});
+            } else if (together && !separately) {
+              local_must.push_back({static_cast<SetId>(q), pi.other});
+            }
+          }
         }
-      }
-    }
-    std::unique_lock<std::mutex> lock(merge_mu);
-    conflicts2.insert(conflicts2.end(), local_conflicts.begin(),
-                      local_conflicts.end());
-    must_pairs.insert(must_pairs.end(), local_must.begin(), local_must.end());
-    pairs_examined += local_pairs;
-  });
+        std::unique_lock<std::mutex> lock(merge_mu);
+        conflicts2.insert(conflicts2.end(), local_conflicts.begin(),
+                          local_conflicts.end());
+        must_pairs.insert(must_pairs.end(), local_must.begin(),
+                          local_must.end());
+        pairs_examined += local_pairs;
+      });
   }
   analysis.pairs_examined = pairs_examined;
   static obs::Counter* pairs_counter =

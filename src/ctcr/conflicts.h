@@ -1,8 +1,8 @@
 // Conflict enumeration (Sections 3.1-3.3): ranking of the input sets,
-// parallel 2-conflict detection over intersecting pairs (via an inverted
-// index — disjoint pairs can always be covered separately and never
-// conflict), must-cover-together pair extraction, and 3-conflict detection
-// for thresholds < 1.
+// parallel 2-conflict detection over intersecting pairs (driven by the
+// kernel::ItemSetIndex candidate-pruning scan — disjoint pairs can always
+// be covered separately and never conflict), must-cover-together pair
+// extraction, and 3-conflict detection for thresholds < 1.
 
 #ifndef OCT_CTCR_CONFLICTS_H_
 #define OCT_CTCR_CONFLICTS_H_
@@ -18,6 +18,10 @@
 #include "util/thread_pool.h"
 
 namespace oct {
+namespace kernel {
+class ItemSetIndex;
+}  // namespace kernel
+
 namespace ctcr {
 
 /// The complete conflict structure of an OCT instance.
@@ -59,10 +63,14 @@ struct ConflictAnalysis {
 /// Runs the conflict analysis. 3-conflicts are computed only when
 /// `find_3conflicts` (CTCR enables it for thresholds < 1). `pool` defaults
 /// to the process-wide pool; pass a 1-thread pool for serial execution.
+/// `index` is an optional prebuilt kernel::ItemSetIndex over `input`
+/// (callers running several phases build it once); when null, a local one
+/// is built. Results are identical either way.
 ConflictAnalysis AnalyzeConflicts(const OctInput& input,
                                   const Similarity& sim,
                                   bool find_3conflicts = true,
-                                  ThreadPool* pool = nullptr);
+                                  ThreadPool* pool = nullptr,
+                                  const kernel::ItemSetIndex* index = nullptr);
 
 /// Weighted average number of 2-conflicts per input set — the C2(Q,W)
 /// quantity of Theorem 3.1 (the Exact-variant approximation guarantee).

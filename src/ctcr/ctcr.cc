@@ -6,6 +6,7 @@
 #include "core/scoring.h"
 #include "core/tree_ops.h"
 #include "fault/failpoint.h"
+#include "kernel/item_set_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -72,10 +73,19 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   const size_t n = input.num_sets();
   const bool general = UsesThresholdBelowOne(input, sim);
 
+  // Acceleration index shared by every phase of this run (built here once
+  // unless the caller supplied one).
+  kernel::ItemSetIndex local_index;
+  const kernel::ItemSetIndex* index = options.index;
+  if (index == nullptr) {
+    local_index = kernel::ItemSetIndex::Build(input);
+    index = &local_index;
+  }
+
   // Lines 1-9: ranking + conflict (hyper)graph.
   Timer timer;
   result.analysis = AnalyzeConflicts(input, sim, /*find_3conflicts=*/general,
-                                     options.pool);
+                                     options.pool, index);
   result.seconds_conflicts = timer.ElapsedSeconds();
   conflicts_us->Record(result.seconds_conflicts * 1e6);
   conflicts2_total->Increment(result.analysis.conflicts2.size());
@@ -87,14 +97,13 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   {
   OCT_SPAN("ctcr/solve_mis");
   if (result.analysis.conflicts3.empty()) {
-    mis::Graph graph(n);
+    // conflicts2 is sorted-unique with first < second, so the bulk builder
+    // skips the per-list sorting of Finalize().
+    mis::Graph graph =
+        mis::Graph::FromSortedUniquePairs(n, result.analysis.conflicts2);
     for (SetId q = 0; q < n; ++q) {
       graph.set_weight(q, input.set(q).weight);
     }
-    for (const auto& [a, b] : result.analysis.conflicts2) {
-      graph.AddEdge(a, b);
-    }
-    graph.Finalize();
     mis::MisOptions mis_options = options.mis;
     mis_options.cancel = options.cancel;
     const mis::MisSolution sol = mis::SolveMis(graph, mis_options);
@@ -160,7 +169,7 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   // on up to `bound` branches directly — "each item is duplicated according
   // to its bound" (Section 3.3, Extensions).
   {
-    const auto index = input.BuildInvertedIndex();
+    const auto& inverted = index->inverted();
     std::vector<size_t> depth(tree.num_nodes(), 0);
     for (NodeId id : tree.PreOrder()) {
       if (id != tree.root()) depth[id] = depth[tree.node(id).parent] + 1;
@@ -169,7 +178,7 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
     std::vector<NodeId> nodes;
     for (ItemId item = 0; item < input.universe_size(); ++item) {
       nodes.clear();
-      for (SetId q : index[item]) {
+      for (SetId q : inverted[item]) {
         if (in_s[q]) nodes.push_back(cat_of[q]);
       }
       if (nodes.empty()) continue;
@@ -204,7 +213,7 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
       const uint32_t bound = input.ItemBound(item);
       if (chain_heads.size() > bound) {
         std::vector<double> chain_weight(chain_heads.size(), 0.0);
-        for (SetId q : index[item]) {
+        for (SetId q : inverted[item]) {
           if (!in_s[q]) continue;
           for (size_t c = 0; c < chain_heads.size(); ++c) {
             if (tree.OnSameBranch(chain_heads[c], cat_of[q])) {

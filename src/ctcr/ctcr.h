@@ -31,6 +31,10 @@ struct CtcrOptions {
   mis::HypergraphSolverOptions hypergraph;
   /// Thread pool for the parallel phases (null: process default).
   ThreadPool* pool = nullptr;
+  /// Prebuilt kernel::ItemSetIndex over the input (not owned; may be null,
+  /// in which case CTCR builds one for the run). Callers that run several
+  /// pipelines on one dataset build it once and share it.
+  const kernel::ItemSetIndex* index = nullptr;
   /// Disable to skip lines 21-23 (intermediate categories) — ablation knob.
   bool add_intermediate_categories = true;
   /// Disable to skip lines 24-25 (condensing) — ablation knob.

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "kernel/bitset.h"
+#include "kernel/pairwise.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -13,18 +15,24 @@ namespace data {
 
 namespace {
 
-/// Raw symmetric similarity used for the merge band: the variant's raw
-/// function for Jaccard/F1; Jaccard for the asymmetric / binary variants.
-double MergeSimilarity(const Similarity& sim, const ItemSet& a,
-                       const ItemSet& b) {
-  const size_t inter = a.IntersectionSize(b);
+/// Whether the merge band measures F1 (the variant's raw function for
+/// Jaccard/F1; Jaccard for the asymmetric / binary variants).
+bool MergeBandUsesF1(const Similarity& sim) {
   switch (sim.variant()) {
     case Variant::kF1Cutoff:
     case Variant::kF1Threshold:
-      return F1FromSizes(a.size(), b.size(), inter);
+      return true;
     default:
-      return JaccardFromSizes(a.size(), b.size(), inter);
+      return false;
   }
+}
+
+/// Raw symmetric similarity used for the merge band, from precomputed
+/// sizes and intersection.
+double MergeSimilarityFromSizes(const Similarity& sim, size_t size_a,
+                                size_t size_b, size_t inter) {
+  return MergeBandUsesF1(sim) ? F1FromSizes(size_a, size_b, inter)
+                              : JaccardFromSizes(size_a, size_b, inter);
 }
 
 /// Number of distinct existing-tree top-level subtrees the items of `set`
@@ -56,6 +64,18 @@ double DefaultRelevanceThreshold(Variant variant) {
 void MergeSimilarSets(const Similarity& sim, size_t max_passes,
                       std::vector<CandidateSet>* sets) {
   const double band_low = sim.delta() + 0.75 * (1.0 - sim.delta());
+  const bool use_f1 = MergeBandUsesF1(sim);
+  static obs::Counter* bitset_hits =
+      obs::MetricsRegistry::Default()->GetCounter("kernel.bitset_hits");
+  // Universe bound for the probe bitmap (items are sorted, so the last one
+  // of each set is its maximum).
+  size_t universe = 0;
+  for (const CandidateSet& cs : *sets) {
+    if (!cs.items.empty()) {
+      universe = std::max<size_t>(universe, cs.items.items().back() + 1);
+    }
+  }
+  kernel::BitSet probe(universe);
   for (size_t pass = 0; pass < max_passes; ++pass) {
     bool merged_any = false;
     // Candidate pairs via a per-pass inverted index over items.
@@ -64,31 +84,54 @@ void MergeSimilarSets(const Similarity& sim, size_t max_passes,
       for (ItemId item : (*sets)[i].items) index[item].push_back(i);
     }
     std::vector<char> dead(sets->size(), 0);
+    std::vector<size_t> candidates;
     for (size_t i = 0; i < sets->size(); ++i) {
       if (dead[i]) continue;
-      // Collect intersecting partners with a larger index.
-      std::unordered_set<size_t> candidates;
-      for (ItemId item : (*sets)[i].items) {
-        for (size_t j : index[item]) {
-          if (j > i && !dead[j]) candidates.insert(j);
+      // Collect intersecting partners with a larger index. Prefix filter:
+      // a partner inside the band needs an intersection of at least o_min
+      // items, so it must share one of the first |i| - o_min + 1 items
+      // (kernel/pairwise.h); items past the prefix cannot produce an
+      // in-band partner on their own. Partners that only enter the band
+      // after this set grows through merges are picked up by a later pass.
+      const ItemSet& items_i = (*sets)[i].items;
+      const size_t o_min =
+          use_f1 ? kernel::MinOverlapForF1(items_i.size(), band_low)
+                 : kernel::MinOverlapForJaccard(items_i.size(), band_low);
+      const size_t prefix =
+          items_i.size() >= o_min ? items_i.size() - o_min + 1 : 0;
+      candidates.clear();
+      for (size_t p = 0; p < prefix; ++p) {
+        for (size_t j : index[items_i.items()[p]]) {
+          if (j > i && !dead[j]) candidates.push_back(j);
         }
       }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      // Probe candidates against a bitmap of set i — O(|candidate|) per
+      // pair instead of a merge, and after a merge only the new items need
+      // setting (the union grows monotonically).
+      probe.SetAll(items_i);
       for (size_t j : candidates) {
         if (dead[i] || dead[j]) continue;
+        auto& a = (*sets)[i];
+        auto& b = (*sets)[j];
+        const size_t inter = probe.IntersectionCount(b.items);
+        bitset_hits->Increment();
         const double s =
-            MergeSimilarity(sim, (*sets)[i].items, (*sets)[j].items);
+            MergeSimilarityFromSizes(sim, a.items.size(), b.items.size(), inter);
         if (s + 1e-12 >= band_low) {
           // Merge j into i: union of items, combined weight; keep the label
           // of the heavier set.
-          auto& a = (*sets)[i];
-          auto& b = (*sets)[j];
           if (b.weight > a.weight) a.label = b.label;
           a.items = a.items.Union(b.items);
           a.weight += b.weight;
+          probe.SetAll(b.items);
           dead[j] = 1;
           merged_any = true;
         }
       }
+      probe.ClearAll((*sets)[i].items);
     }
     std::vector<CandidateSet> kept;
     kept.reserve(sets->size());

@@ -1,0 +1,135 @@
+#include "kernel/bitset.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace kernel {
+
+BitSet::BitSet(size_t universe_size)
+    : universe_size_(universe_size), words_(WordsFor(universe_size), 0) {}
+
+void BitSet::Reset(size_t universe_size) {
+  universe_size_ = universe_size;
+  words_.assign(WordsFor(universe_size), 0);
+}
+
+void BitSet::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+void BitSet::Set(ItemId id) {
+  OCT_DCHECK_LT(id, universe_size_);
+  words_[id >> 6] |= uint64_t{1} << (id & 63);
+}
+
+bool BitSet::Test(ItemId id) const {
+  if (id >= universe_size_) return false;
+  return (words_[id >> 6] >> (id & 63)) & 1;
+}
+
+void BitSet::AssignFrom(const ItemSet& set) {
+  Clear();
+  SetAll(set);
+}
+
+void BitSet::SetAll(const ItemSet& set) {
+  for (ItemId id : set) {
+    OCT_DCHECK_LT(id, universe_size_);
+    words_[id >> 6] |= uint64_t{1} << (id & 63);
+  }
+}
+
+void BitSet::ClearAll(const ItemSet& set) {
+  for (ItemId id : set) {
+    OCT_DCHECK_LT(id, universe_size_);
+    words_[id >> 6] &= ~(uint64_t{1} << (id & 63));
+  }
+}
+
+size_t BitSet::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+size_t BitSet::IntersectionCount(const BitSet& other) const {
+  OCT_DCHECK_EQ(words_.size(), other.words_.size());
+  size_t count = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(words_[i] & other.words_[i]);
+  }
+  return count;
+}
+
+size_t BitSet::IntersectionCount(const ItemSet& other) const {
+  size_t count = 0;
+  for (ItemId id : other) {
+    OCT_DCHECK_LT(id, universe_size_);
+    count += (words_[id >> 6] >> (id & 63)) & 1;
+  }
+  return count;
+}
+
+bool BitSet::Intersects(const BitSet& other) const {
+  OCT_DCHECK_EQ(words_.size(), other.words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+bool BitSet::Intersects(const ItemSet& other) const {
+  for (ItemId id : other) {
+    OCT_DCHECK_LT(id, universe_size_);
+    if ((words_[id >> 6] >> (id & 63)) & 1) return true;
+  }
+  return false;
+}
+
+bool BitSet::IsSubsetOf(const BitSet& other) const {
+  OCT_DCHECK_EQ(words_.size(), other.words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool BitSet::ContainsAll(const ItemSet& other) const {
+  for (ItemId id : other) {
+    if (id >= universe_size_) return false;
+    if (((words_[id >> 6] >> (id & 63)) & 1) == 0) return false;
+  }
+  return true;
+}
+
+void BitSet::UnionInPlace(const BitSet& other) {
+  OCT_DCHECK_EQ(words_.size(), other.words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitSet::IntersectInPlace(const BitSet& other) {
+  OCT_DCHECK_EQ(words_.size(), other.words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitSet::DifferenceInPlace(const BitSet& other) {
+  OCT_DCHECK_EQ(words_.size(), other.words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+ItemSet BitSet::ToItemSet() const {
+  std::vector<ItemId> out;
+  out.reserve(Count());
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t w = words_[i];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<ItemId>(i * 64 + bit));
+      w &= w - 1;
+    }
+  }
+  return ItemSet::FromSorted(std::move(out));
+}
+
+}  // namespace kernel
+}  // namespace oct

@@ -1,0 +1,163 @@
+#include "kernel/item_set_index.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace oct {
+namespace kernel {
+
+namespace {
+
+/// Routing counters, one line per route (see obs/metrics.h for the caching
+/// idiom). `kernel.bitset_hits` is the dashboard-facing name.
+struct RouteCounters {
+  obs::Counter* bitset;
+  obs::Counter* probe;
+  obs::Counter* merge;
+};
+
+const RouteCounters& Counters() {
+  static const RouteCounters c = {
+      obs::MetricsRegistry::Default()->GetCounter("kernel.bitset_hits"),
+      obs::MetricsRegistry::Default()->GetCounter("kernel.probe_hits"),
+      obs::MetricsRegistry::Default()->GetCounter("kernel.merge_hits"),
+  };
+  return c;
+}
+
+}  // namespace
+
+ItemSetIndex ItemSetIndex::Build(const OctInput& input,
+                                 const ItemSetIndexOptions& options) {
+  OCT_SPAN("kernel/build_index");
+  ItemSetIndex index;
+  index.input_ = &input;
+  index.options_ = options;
+  index.inverted_ = input.BuildInvertedIndex();
+
+  const size_t universe = input.universe_size();
+  if (input.HasRelaxedBounds()) {
+    index.strict_item_.resize(universe);
+    for (ItemId item = 0; item < universe; ++item) {
+      index.strict_item_[item] = input.ItemBound(item) == 1;
+    }
+  }
+
+  const size_t n = input.num_sets();
+  index.bitmap_of_.assign(n, -1);
+  const size_t bytes_per = BitSet::WordsFor(universe) * sizeof(uint64_t);
+  if (options.max_bitmap_bytes > 0 && universe > 0 &&
+      options.materialize_factor > 0) {
+    // Dense sets only: a bitmap pays off when |q| >= words/factor, i.e.
+    // |q| * 64 * factor >= |U|. Densest first under the byte budget.
+    std::vector<SetId> candidates;
+    for (SetId q = 0; q < n; ++q) {
+      const size_t sz = input.set(q).items.size();
+      if (sz * 64 * options.materialize_factor >= universe) {
+        candidates.push_back(q);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](SetId a, SetId b) {
+      const size_t sa = input.set(a).items.size();
+      const size_t sb = input.set(b).items.size();
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    for (SetId q : candidates) {
+      if (index.bitmap_bytes_ + bytes_per > options.max_bitmap_bytes) break;
+      index.bitmap_of_[q] = static_cast<int32_t>(index.bitmaps_.size());
+      index.bitmaps_.emplace_back(universe);
+      index.bitmaps_.back().SetAll(input.set(q).items);
+      index.bitmap_bytes_ += bytes_per;
+    }
+  }
+  static obs::Counter* bitmaps_built =
+      obs::MetricsRegistry::Default()->GetCounter("kernel.bitmaps_built");
+  bitmaps_built->Increment(index.bitmaps_.size());
+  return index;
+}
+
+size_t ItemSetIndex::IntersectionSize(SetId a, SetId b) const {
+  const ItemSet& sa = input_->set(a).items;
+  const ItemSet& sb = input_->set(b).items;
+  const BitSet* ba = bitmap(a);
+  const BitSet* bb = bitmap(b);
+  if (ba != nullptr && bb != nullptr &&
+      ba->num_words() <=
+          options_.words_per_merge_step * (sa.size() + sb.size())) {
+    Counters().bitset->Increment();
+    return ba->IntersectionCount(*bb);
+  }
+  const bool a_small = sa.size() <= sb.size();
+  const ItemSet& small = a_small ? sa : sb;
+  const ItemSet& large = a_small ? sb : sa;
+  const BitSet* large_bm = a_small ? bb : ba;
+  const BitSet* small_bm = a_small ? ba : bb;
+  if (large_bm != nullptr) {
+    Counters().probe->Increment();
+    return large_bm->IntersectionCount(small);
+  }
+  // Probing the large set into the small one's bitmap costs |large|; on
+  // heavy size skew the galloping merge is O(|small| log |large|) and wins
+  // (16x is the galloping threshold of ItemSet::IntersectionSize).
+  if (small_bm != nullptr && large.size() < small.size() * 16) {
+    Counters().probe->Increment();
+    return small_bm->IntersectionCount(large);
+  }
+  Counters().merge->Increment();
+  return sa.IntersectionSize(sb);
+}
+
+bool ItemSetIndex::Intersects(SetId a, SetId b) const {
+  const ItemSet& sa = input_->set(a).items;
+  const ItemSet& sb = input_->set(b).items;
+  const BitSet* ba = bitmap(a);
+  const BitSet* bb = bitmap(b);
+  if (ba != nullptr && bb != nullptr &&
+      ba->num_words() <=
+          options_.words_per_merge_step * (sa.size() + sb.size())) {
+    Counters().bitset->Increment();
+    return ba->Intersects(*bb);
+  }
+  const bool a_small = sa.size() <= sb.size();
+  const ItemSet& small = a_small ? sa : sb;
+  const ItemSet& large = a_small ? sb : sa;
+  const BitSet* large_bm = a_small ? bb : ba;
+  const BitSet* small_bm = a_small ? ba : bb;
+  if (large_bm != nullptr) {
+    Counters().probe->Increment();
+    return large_bm->Intersects(small);
+  }
+  if (small_bm != nullptr && large.size() < small.size() * 16) {
+    Counters().probe->Increment();
+    return small_bm->Intersects(large);
+  }
+  Counters().merge->Increment();
+  return sa.Intersects(sb);
+}
+
+bool ItemSetIndex::IsSubsetOf(SetId a, SetId b) const {
+  const ItemSet& sa = input_->set(a).items;
+  const ItemSet& sb = input_->set(b).items;
+  if (sa.size() > sb.size()) return false;
+  const BitSet* ba = bitmap(a);
+  const BitSet* bb = bitmap(b);
+  if (ba != nullptr && bb != nullptr &&
+      ba->num_words() <=
+          options_.words_per_merge_step * (sa.size() + sb.size())) {
+    Counters().bitset->Increment();
+    return ba->IsSubsetOf(*bb);
+  }
+  if (bb != nullptr) {
+    Counters().probe->Increment();
+    return bb->ContainsAll(sa);
+  }
+  Counters().merge->Increment();
+  return sa.IsSubsetOf(sb);
+}
+
+}  // namespace kernel
+}  // namespace oct

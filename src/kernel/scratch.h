@@ -1,0 +1,54 @@
+// DenseCounter: a dense zero-initialized counter array with O(touched)
+// reset, the scratch pattern shared by every kernel driver.
+//
+// The pairwise scans count "hits per partner" for thousands of partners,
+// then need the buffer back at zero for the next probe. A hash map pays
+// hashing + allocation per hit; this pays one array bump, remembers which
+// slots it dirtied, and resets only those — so a scan over k hits costs
+// O(k) regardless of the array size. Allocate one per worker thread (the
+// drivers do this per chunk) and reuse across probes.
+//
+// Header-only and dependency-free so low layers (core/scoring) can use it
+// without pulling in the rest of the kernel.
+
+#ifndef OCT_KERNEL_SCRATCH_H_
+#define OCT_KERNEL_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oct {
+namespace kernel {
+
+class DenseCounter {
+ public:
+  explicit DenseCounter(size_t num_slots) : counts_(num_slots, 0) {}
+
+  size_t num_slots() const { return counts_.size(); }
+
+  /// Bumps slot `key`; first touch records it for Reset().
+  void Increment(uint32_t key) {
+    if (counts_[key]++ == 0) touched_.push_back(key);
+  }
+
+  uint32_t count(uint32_t key) const { return counts_[key]; }
+
+  /// Slots touched since the last Reset(), in first-touch order.
+  const std::vector<uint32_t>& touched() const { return touched_; }
+
+  /// Zeroes the touched slots only — O(touched).
+  void Reset() {
+    for (uint32_t key : touched_) counts_[key] = 0;
+    touched_.clear();
+  }
+
+ private:
+  std::vector<uint32_t> counts_;
+  std::vector<uint32_t> touched_;
+};
+
+}  // namespace kernel
+}  // namespace oct
+
+#endif  // OCT_KERNEL_SCRATCH_H_

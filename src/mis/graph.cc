@@ -19,6 +19,31 @@ void Graph::AddEdge(VertexId u, VertexId v) {
   finalized_ = false;
 }
 
+Graph Graph::FromSortedUniquePairs(
+    size_t num_vertices, const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  Graph graph(num_vertices);
+  std::vector<uint32_t> degree(num_vertices, 0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [a, b] = pairs[i];
+    OCT_DCHECK_LT(a, b);
+    OCT_DCHECK_LT(b, num_vertices);
+    OCT_DCHECK(i == 0 || pairs[i - 1] < pairs[i]);
+    ++degree[a];
+    ++degree[b];
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) graph.adj_[v].reserve(degree[v]);
+  // For any vertex v, every pair (a, v) with a < v precedes every pair
+  // (v, b) in lexicographic order, and within each role the partners come
+  // out ascending — so one ordered scan leaves adj_[v] fully sorted.
+  for (const auto& [a, b] : pairs) {
+    graph.adj_[a].push_back(b);
+    graph.adj_[b].push_back(a);
+  }
+  graph.num_edges_ = pairs.size();
+  graph.finalized_ = true;
+  return graph;
+}
+
 void Graph::Finalize() {
   num_edges_ = 0;
   for (auto& nbrs : adj_) {

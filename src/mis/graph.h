@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace oct {
@@ -26,6 +27,15 @@ class Graph {
   /// Adds an undirected edge; self-loops are ignored. Duplicate insertions
   /// are deduplicated by Finalize().
   void AddEdge(VertexId u, VertexId v);
+
+  /// Bulk constructor from edges already sorted lexicographically with
+  /// first < second and no duplicates (the shape conflict enumeration
+  /// emits). Arrives finalized without any per-list sorting: a single scan
+  /// in that order appends every adjacency list in ascending neighbor
+  /// order. Weights default to 1.0; set them afterwards.
+  static Graph FromSortedUniquePairs(
+      size_t num_vertices,
+      const std::vector<std::pair<VertexId, VertexId>>& pairs);
 
   /// Sorts and dedups adjacency lists; must be called before queries.
   void Finalize();

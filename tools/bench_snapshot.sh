@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Captures a dated benchmark snapshot: runs micro_benchmarks and
-# serving_throughput with OCT_BENCH_JSON and merges their structured
-# reports into BENCH_<date>.json at the repo root. Diff two snapshots to
+# Captures a dated benchmark snapshot: runs micro_benchmarks,
+# kernel_speedup, and serving_throughput with OCT_BENCH_JSON and merges
+# their structured reports into BENCH_<date>.json at the repo root. Diff two snapshots to
 # see performance drift between commits.
 #
 #   $ tools/bench_snapshot.sh             # build dir: build
@@ -17,7 +17,7 @@ OUT="$REPO_ROOT/BENCH_$(date +%Y-%m-%d).json"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
-for bench in micro_benchmarks serving_throughput; do
+for bench in micro_benchmarks kernel_speedup serving_throughput; do
   bin="$BUILD_DIR/bench/$bench"
   if [ ! -x "$bin" ]; then
     echo "missing $bin -- build benchmarks first:" >&2

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Validates the repo's Markdown: every intra-repo link target must exist.
+#
+#   $ tools/check_docs.sh
+#
+# Checks inline links [text](target) in all tracked *.md files. External
+# links (http/https/mailto) and pure in-page anchors (#...) are skipped —
+# this is a filesystem check, not a network crawler. A target's trailing
+# "#anchor" is stripped before the existence check. Exits non-zero listing
+# every broken link.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if command -v git >/dev/null 2>&1 && git rev-parse --git-dir >/dev/null 2>&1; then
+  mapfile -t md_files < <(git ls-files '*.md')
+else
+  mapfile -t md_files < <(find . -name '*.md' -not -path './build*' | sed 's|^\./||')
+fi
+
+errors=0
+checked=0
+for f in "${md_files[@]}"; do
+  dir="$(dirname "$f")"
+  # Inline Markdown links: capture the (...) part of [...](...), one per
+  # line, tolerating multiple links per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+      '<'*) target="${target#<}"; target="${target%>}" ;;
+    esac
+    target="${target%%#*}"            # strip in-page anchor
+    [ -z "$target" ] && continue
+    checked=$((checked + 1))
+    if [ "${target#/}" != "$target" ]; then
+      resolved="$REPO_ROOT$target"    # absolute = repo-rooted
+    else
+      resolved="$dir/$target"
+    fi
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $f -> $target"
+      errors=$((errors + 1))
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$f" 2>/dev/null | sed -E 's/^\]\((.*)\)$/\1/')
+done
+
+if [ "$errors" -gt 0 ]; then
+  echo "check_docs: $errors broken link(s) across ${#md_files[@]} files."
+  exit 1
+fi
+echo "check_docs: ${#md_files[@]} files, $checked intra-repo links, all resolve."
