@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/expose.h"
 #include "obs/metrics.h"
+#include "serve/exposition.h"
 #include "serve/rebuild_scheduler.h"
 #include "serve/serve_stats.h"
 #include "serve/tree_store.h"
@@ -147,6 +149,17 @@ int main() {
   serve::RebuildScheduler scheduler(&store, &stats, &ds, sim, policy,
                                     &rebuild_pool);
 
+  // Exposition rides along on a free port: the bench scrapes its own
+  // /metrics and /healthz mid-load, so the scrape path is exercised under
+  // exactly the contention it exists to observe.
+  static obs::SpanRing span_ring(4096);
+  obs::SpanRing::InstallGlobal(&span_ring);
+  serve::ExpositionOptions expose_options;
+  expose_options.enabled = true;
+  serve::ServingExposition exposition(&store, &scheduler, &stats,
+                                      expose_options);
+  const bool exposing = exposition.Start().ok();
+
   // Bootstrap: build + publish v1 synchronously.
   const serve::RebuildOutcome bootstrap = scheduler.RebuildNow(ds.input);
   std::printf(
@@ -171,10 +184,17 @@ int main() {
   const data::Dataset drifted =
       data::MakeDataset('A', sim, data::BenchScale(), recent);
   int flip = 0;
+  uint64_t scrapes = 0;
   const auto publisher = [&]() -> uint64_t {
     const serve::TreeVersion before = store.CurrentVersion();
     scheduler.OfferBatch((flip++ % 2 == 0) ? drifted.input : ds.input);
     scheduler.WaitForRebuild();
+    if (exposing) {
+      // Scrape concurrently with the read+rebuild churn.
+      const auto metrics = obs::HttpGetLocal(exposition.port(), "/metrics");
+      const auto health = obs::HttpGetLocal(exposition.port(), "/healthz");
+      if (metrics.ok() && health.ok()) ++scrapes;
+    }
     return store.CurrentVersion() > before ? 1 : 0;
   };
   const PhaseResult contended =
@@ -219,6 +239,13 @@ int main() {
           diff->mean_category_overlap, diff->ItemStability());
     }
   }
+  if (exposing) {
+    std::printf("exposition: %llu live /metrics+/healthz scrapes during the "
+                "contended phase (port %d)\n",
+                static_cast<unsigned long long>(scrapes), exposition.port());
+    exposition.Stop();
+  }
+  obs::SpanRing::InstallGlobal(nullptr);
   std::printf("stats: %s\n", stats.Snapshot().ToString().c_str());
   return 0;
 }

@@ -5,10 +5,23 @@
 // two revisions stay diffable for rollback.
 //
 //   $ ./build/examples/online_store
+//
+// With OCT_EXPOSE_PORT set, the process additionally opens the exposition
+// endpoint (0 = pick a free port) and, with OCT_EXPOSE_LINGER_SECONDS,
+// keeps serving it after the walkthrough so an operator (or the CI smoke
+// job) can scrape it:
+//
+//   $ OCT_EXPOSE_PORT=9187 OCT_EXPOSE_LINGER_SECONDS=30 ./online_store &
+//   $ curl localhost:9187/metrics
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "data/datasets.h"
+#include "obs/trace.h"
+#include "serve/exposition.h"
 #include "serve/rebuild_scheduler.h"
 #include "serve/serve_stats.h"
 #include "serve/tree_store.h"
@@ -25,6 +38,33 @@ int main() {
   serve::RebuildPolicy policy;
   policy.drift_tolerance = 0.01;  // Rebuild on a 1-point score drop.
   serve::RebuildScheduler scheduler(&store, &stats, &ds, sim, policy);
+
+  // Optional exposition endpoint: /metrics, /varz, /healthz, /tracez,
+  // /statusz. The span ring feeds /tracez with the most recent spans;
+  // static storage so it outlives every thread that might record into it.
+  static obs::SpanRing span_ring(4096);
+  serve::ExpositionOptions expose_options;
+  const char* expose_port = std::getenv("OCT_EXPOSE_PORT");
+  if (expose_port != nullptr) {
+    expose_options.enabled = true;
+    expose_options.port = std::atoi(expose_port);
+    obs::SpanRing::InstallGlobal(&span_ring);
+    obs::SetTracingEnabled(true);
+  }
+  serve::ServingExposition exposition(&store, &scheduler, &stats,
+                                      expose_options);
+  {
+    const Status st = exposition.Start();
+    if (!st.ok()) {
+      std::printf("exposition failed to start: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (exposition.running()) {
+      std::printf("exposition serving on http://127.0.0.1:%d "
+                  "(/metrics /varz /healthz /tracez /statusz)\n\n",
+                  exposition.port());
+    }
+  }
 
   // --- Day 0: build from the current query log and publish v1. ----------
   const serve::RebuildOutcome boot = scheduler.RebuildNow(ds.input);
@@ -123,5 +163,21 @@ int main() {
   }
 
   std::printf("\nstats: %s\n", stats.Snapshot().ToString().c_str());
+
+  // Keep the exposition endpoint up for scrapers before exiting (CI smoke
+  // job; manual curl sessions). The serving objects above stay live.
+  const char* linger = std::getenv("OCT_EXPOSE_LINGER_SECONDS");
+  if (exposition.running() && linger != nullptr) {
+    const double seconds = std::strtod(linger, nullptr);
+    std::printf("lingering %.0f s for scrapers on port %d...\n", seconds,
+                exposition.port());
+    std::fflush(stdout);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  exposition.Stop();
   return 0;
 }

@@ -147,8 +147,11 @@ JsonWriter& JsonWriter::Raw(const std::string& json) {
 
 namespace {
 
-void WriteHistogram(JsonWriter* w, const HistogramSnapshot& snap) {
+void WriteHistogram(JsonWriter* w, const HistogramSnapshot& snap,
+                    const MetricsRegistry::MetricMeta& meta) {
   w->BeginObject();
+  if (!meta.help.empty()) w->Key("help").String(meta.help);
+  if (!meta.unit.empty()) w->Key("unit").String(meta.unit);
   w->Key("count").Uint(snap.count);
   w->Key("sum").Double(snap.sum);
   w->Key("min").Double(snap.min);
@@ -157,12 +160,18 @@ void WriteHistogram(JsonWriter* w, const HistogramSnapshot& snap) {
   w->Key("p50").Double(snap.p50);
   w->Key("p95").Double(snap.p95);
   w->Key("p99").Double(snap.p99);
+  // Cumulative (Prometheus-style) buckets: `count` observations were <= le;
+  // the terminal bucket has le "+Inf" (serialized as a string — JSON has no
+  // infinity) and carries the total count.
   w->Key("buckets").BeginArray();
-  for (size_t i = 0; i < snap.buckets.size(); ++i) {
-    if (snap.buckets[i] == 0) continue;
+  for (const CumulativeBucket& bucket : snap.CumulativeBuckets()) {
     w->BeginObject();
-    w->Key("le").Double(Histogram::BucketUpperBound(i));
-    w->Key("count").Uint(snap.buckets[i]);
+    if (std::isinf(bucket.le)) {
+      w->Key("le").String("+Inf");
+    } else {
+      w->Key("le").Double(bucket.le);
+    }
+    w->Key("count").Uint(bucket.count);
     w->EndObject();
   }
   w->EndArray();
@@ -187,7 +196,7 @@ std::string MetricsToJson(const MetricsRegistry& registry) {
   w.Key("histograms").BeginObject();
   for (const auto& [name, snap] : registry.HistogramValues()) {
     w.Key(name);
-    WriteHistogram(&w, snap);
+    WriteHistogram(&w, snap, registry.MetaFor(name));
   }
   w.EndObject();
   w.EndObject();

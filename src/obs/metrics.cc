@@ -123,6 +123,21 @@ double Histogram::Percentile(double p) const {
   return observed_max;
 }
 
+std::vector<CumulativeBucket> HistogramSnapshot::CumulativeBuckets() const {
+  std::vector<CumulativeBucket> out;
+  uint64_t cumulative = 0;
+  // The terminal power-of-two bucket absorbs every value above its lower
+  // bound, so its finite upper bound would lie; its counts surface only in
+  // the +Inf entry.
+  for (size_t i = 0; i + 1 < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    out.push_back({Histogram::BucketUpperBound(i), cumulative});
+  }
+  out.push_back({std::numeric_limits<double>::infinity(), count});
+  return out;
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.buckets.resize(kNumBuckets);
@@ -151,24 +166,32 @@ void Histogram::Reset() {
              std::memory_order_relaxed);
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot.reset(new Counter(name));
+  if (slot->help_.empty() && !help.empty()) slot->help_ = help;
   return slot.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot.reset(new Gauge(name));
+  if (slot->help_.empty() && !help.empty()) slot->help_ = help;
   return slot.get();
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::string& unit) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot.reset(new Histogram(name));
+  if (slot->help_.empty() && !help.empty()) slot->help_ = help;
+  if (slot->unit_.empty() && !unit.empty()) slot->unit_ = unit;
   return slot.get();
 }
 
@@ -206,6 +229,21 @@ MetricsRegistry::HistogramValues() const {
     out.emplace_back(name, h->Snapshot());
   }
   return out;
+}
+
+MetricsRegistry::MetricMeta MetricsRegistry::MetaFor(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return {it->second->help_, ""};
+  }
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return {it->second->help_, ""};
+  }
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    return {it->second->help_, it->second->unit_};
+  }
+  return {};
 }
 
 MetricsRegistry* MetricsRegistry::Default() {

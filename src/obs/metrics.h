@@ -60,6 +60,8 @@ class Counter {
   uint64_t Value() const;
 
   const std::string& name() const { return name_; }
+  /// Help string supplied at registration ("" when never provided).
+  const std::string& help() const { return help_; }
 
  private:
   friend class MetricsRegistry;
@@ -72,6 +74,7 @@ class Counter {
   };
   std::array<Shard, kShards> shards_;
   std::string name_;
+  std::string help_;
 };
 
 /// Last-writer-wins instantaneous value (queue depth, current version).
@@ -82,6 +85,7 @@ class Gauge {
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
   const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
 
  private:
   friend class MetricsRegistry;
@@ -90,6 +94,15 @@ class Gauge {
 
   std::atomic<int64_t> value_{0};
   std::string name_;
+  std::string help_;
+};
+
+/// One bucket of a cumulative (Prometheus-style) histogram view: `count`
+/// observations were <= `le`. The final bucket has le = +infinity and
+/// count = total.
+struct CumulativeBucket {
+  double le = 0.0;
+  uint64_t count = 0;
 };
 
 /// Plain-value view of a histogram at one instant.
@@ -106,6 +119,14 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;
 
   double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Cumulative-bucket conversion: one entry per non-empty power-of-two
+  /// bucket, carrying the cumulative count of observations <= its upper
+  /// bound, terminated by {+Inf, count}. (Empty buckets add no information
+  /// to a cumulative series, so they are skipped to keep renders compact.)
+  /// This is the exposition contract both the JSON and Prometheus
+  /// renderers share.
+  std::vector<CumulativeBucket> CumulativeBuckets() const;
 };
 
 /// Fixed power-of-two-bucket histogram for non-negative values (typically
@@ -130,6 +151,9 @@ class Histogram {
   static double BucketUpperBound(size_t i);
 
   const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  /// Unit of recorded values ("us", "ms", ...; "" when never provided).
+  const std::string& unit() const { return unit_; }
 
  private:
   friend class MetricsRegistry;
@@ -144,20 +168,29 @@ class Histogram {
   std::atomic<double> min_;
   std::atomic<double> max_;
   std::string name_;
+  std::string help_;
+  std::string unit_;
 };
 
 /// Owner and lookup table of named metrics. Get* registers on first use and
 /// returns the same pointer afterwards; pointers stay valid for the
 /// registry's lifetime. Thread-safe.
+///
+/// `help` (and, for histograms, `unit`) are exposition metadata: the first
+/// non-empty string supplied for a name sticks, so hot instrumentation
+/// sites may keep calling the one-argument form while a single descriptive
+/// registration elsewhere fills in the documentation.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          const std::string& unit = "");
 
   /// Zeroes every registered metric (bench harness: per-run deltas).
   void Reset();
@@ -167,6 +200,16 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
   std::vector<std::pair<std::string, HistogramSnapshot>> HistogramValues()
       const;
+
+  /// Exposition metadata of one metric (any kind), read under the registry
+  /// lock — the thread-safe way for renderers to pair Values() listings
+  /// with help/unit strings. Empty fields when the name is unknown or was
+  /// never described.
+  struct MetricMeta {
+    std::string help;
+    std::string unit;
+  };
+  MetricMeta MetaFor(const std::string& name) const;
 
   /// Process-wide default registry (leaked singleton — safe to use from
   /// static destructors and exit handlers).

@@ -1,0 +1,65 @@
+#include "obs/span_ring.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace oct {
+namespace obs {
+
+namespace {
+std::atomic<SpanRing*> g_global_ring{nullptr};
+
+Counter* EvictedCounter() {
+  static Counter* evicted =
+      MetricsRegistry::Default()->GetCounter(
+          "obs.spans_evicted",
+          "Retained spans overwritten by SpanRing wrap-around");
+  return evicted;
+}
+}  // namespace
+
+SpanRing::SpanRing(size_t capacity)
+    : num_shards_(kShards),
+      per_shard_(std::max<size_t>(1, (capacity + kShards - 1) / kShards)),
+      shards_(kShards) {}
+
+void SpanRing::Add(const SpanEvent& event) {
+  Shard& shard = shards_[internal::ThreadIndex() % num_shards_];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  total_added_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.events.size() < per_shard_) {
+    shard.events.push_back(event);
+    return;
+  }
+  shard.events[shard.next] = event;
+  shard.next = (shard.next + 1) % per_shard_;
+  total_evicted_.fetch_add(1, std::memory_order_relaxed);
+  EvictedCounter()->Increment();
+}
+
+std::vector<SpanEvent> SpanRing::Latest(size_t max_spans) const {
+  std::vector<SpanEvent> out;
+  out.reserve(std::min(max_spans, capacity()));
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.end_ns != b.end_ns) return a.end_ns > b.end_ns;
+    return a.start_ns > b.start_ns;
+  });
+  if (out.size() > max_spans) out.resize(max_spans);
+  return out;
+}
+
+void SpanRing::InstallGlobal(SpanRing* ring) {
+  g_global_ring.store(ring, std::memory_order_release);
+}
+
+SpanRing* SpanRing::Global() {
+  return g_global_ring.load(std::memory_order_acquire);
+}
+
+}  // namespace obs
+}  // namespace oct

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "obs/span_ring.h"
 
 namespace oct {
 namespace obs {
@@ -14,6 +15,18 @@ namespace {
 /// Cap per thread so a forgotten enabled flag cannot grow without bound;
 /// drops are counted in obs.spans_dropped rather than silently discarded.
 constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+/// Cap on the exited-thread flush target: short-lived traced threads (pool
+/// workers, one-shot helpers) all funnel their events here, so it needs the
+/// same bound-and-count treatment as the live buffers.
+constexpr size_t kMaxOrphanEvents = 1 << 20;
+
+Counter* DroppedCounter() {
+  static Counter* dropped = MetricsRegistry::Default()->GetCounter(
+      "obs.spans_dropped",
+      "Completed spans discarded because a trace buffer was full");
+  return dropped;
+}
 
 struct ThreadBuffer {
   std::mutex mu;
@@ -54,8 +67,15 @@ struct ThreadBufferHandle {
     std::lock_guard<std::mutex> lock(state->mu);
     {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      const size_t room = state->orphans.size() < kMaxOrphanEvents
+                              ? kMaxOrphanEvents - state->orphans.size()
+                              : 0;
+      const size_t take = std::min(room, buffer->events.size());
       state->orphans.insert(state->orphans.end(), buffer->events.begin(),
-                            buffer->events.end());
+                            buffer->events.begin() + take);
+      if (take < buffer->events.size()) {
+        DroppedCounter()->Increment(buffer->events.size() - take);
+      }
     }
     state->buffers.erase(
         std::remove(state->buffers.begin(), state->buffers.end(), buffer),
@@ -84,14 +104,17 @@ void SpanEnd(const char* name, uint64_t start_ns) {
   ThreadBuffer* buffer = LocalBuffer();
   const uint64_t end_ns = TraceNowNanos();
   const uint32_t depth = --buffer->depth;
+  const SpanEvent event{name, start_ns, end_ns, depth, buffer->tid};
+  // The retention ring (the /tracez source) is fed independently of the
+  // collection buffers: it keeps only the most recent spans and never
+  // rejects one, so a scrape sees fresh data even when collection lags.
+  if (SpanRing* ring = SpanRing::Global()) ring->Add(event);
   std::lock_guard<std::mutex> lock(buffer->mu);
   if (buffer->events.size() >= kMaxEventsPerThread) {
-    static Counter* dropped =
-        MetricsRegistry::Default()->GetCounter("obs.spans_dropped");
-    dropped->Increment();
+    DroppedCounter()->Increment();
     return;
   }
-  buffer->events.push_back({name, start_ns, end_ns, depth, buffer->tid});
+  buffer->events.push_back(event);
 }
 
 }  // namespace internal

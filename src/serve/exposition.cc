@@ -1,0 +1,106 @@
+#include "serve/exposition.h"
+
+#include <utility>
+
+#include "data/datasets.h"
+#include "obs/export.h"
+
+namespace oct {
+namespace serve {
+
+ServingExposition::ServingExposition(const TreeStore* store,
+                                     const RebuildScheduler* scheduler,
+                                     const ServeStats* stats,
+                                     ExpositionOptions options)
+    : store_(store), scheduler_(scheduler), options_(std::move(options)) {
+  obs::ExpositionOptions server_options;
+  server_options.port = options_.port;
+  server_options.bind_address = options_.bind_address;
+  server_options.registries.push_back(obs::MetricsRegistry::Default());
+  if (stats != nullptr) server_options.registries.push_back(&stats->registry());
+  server_options.health = [this] { return Health(); };
+  server_options.status_json = [this] { return StatusJson(); };
+  server_ = std::make_unique<obs::ExpositionServer>(std::move(server_options));
+}
+
+ServingExposition::~ServingExposition() { Stop(); }
+
+Status ServingExposition::Start() {
+  if (!options_.enabled) return Status::OK();
+  return server_->Start();
+}
+
+void ServingExposition::Stop() { server_->Stop(); }
+
+bool ServingExposition::running() const { return server_->running(); }
+
+int ServingExposition::port() const { return server_->port(); }
+
+obs::HealthReport ServingExposition::Health() const {
+  obs::HealthReport report;
+  const auto snapshot = store_->Current();
+  if (snapshot == nullptr) {
+    report.healthy = false;
+    report.detail = "no snapshot published";
+    return report;
+  }
+  report.detail =
+      "serving v" + std::to_string(snapshot->version()) + ", breaker ";
+  if (scheduler_ == nullptr) {
+    report.detail += "absent";
+    return report;
+  }
+  const CircuitState breaker = scheduler_->circuit_state();
+  report.detail += CircuitStateName(breaker);
+  // Open means rebuilds are failing repeatedly and the served tree is going
+  // stale with no recovery in progress — page someone. Half-open is the
+  // recovery probe: readers still get the last good snapshot, so the
+  // process stays healthy.
+  if (breaker == CircuitState::kOpen) {
+    report.healthy = false;
+    report.detail += " (" +
+                     std::to_string(scheduler_->consecutive_failures()) +
+                     " consecutive rebuild failures)";
+  }
+  return report;
+}
+
+std::string ServingExposition::StatusJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset_scale").Double(data::BenchScale());
+  const auto snapshot = store_->Current();
+  w.Key("snapshot_version")
+      .Uint(snapshot == nullptr ? 0 : snapshot->version());
+  w.Key("retain_limit").Uint(store_->retain_limit());
+  w.Key("retained").BeginArray();
+  for (const VersionInfo& info : store_->RetainedVersions()) {
+    w.BeginObject();
+    w.Key("version").Uint(info.version);
+    w.Key("categories").Uint(info.num_categories);
+    w.Key("items").Uint(info.num_items);
+    w.Key("build_seconds").Double(info.build_seconds);
+    if (!info.note.empty()) w.Key("note").String(info.note);
+    w.EndObject();
+  }
+  w.EndArray();
+  if (scheduler_ != nullptr) {
+    w.Key("breaker").String(CircuitStateName(scheduler_->circuit_state()));
+    w.Key("consecutive_failures").Int(scheduler_->consecutive_failures());
+    w.Key("rebuild_in_flight").Bool(scheduler_->rebuild_in_flight());
+    w.Key("published_score").Double(scheduler_->published_score());
+    const RebuildOutcome last = scheduler_->last_outcome();
+    w.Key("last_rebuild").BeginObject();
+    w.Key("published").Bool(last.published);
+    w.Key("version").Uint(last.published_version);
+    w.Key("seconds").Double(last.seconds);
+    w.Key("attempts").Int(last.attempts);
+    if (!last.reason.empty()) w.Key("reason").String(last.reason);
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace serve
+}  // namespace oct

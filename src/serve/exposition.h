@@ -1,0 +1,91 @@
+// ServingExposition: the serving stack's pre-wired obs::ExpositionServer.
+// Where the raw server takes hooks, this binds them to the pieces an online
+// category-tree process already has:
+//
+//   /healthz   200 only while the TreeStore has a live snapshot AND the
+//              RebuildScheduler's circuit breaker is closed or half-open
+//              (half-open means a trial rebuild is probing recovery — the
+//              last good snapshot is still being served, so the process is
+//              healthy for readers). 503 while nothing has ever published
+//              or while the breaker is open.
+//   /metrics,  render the process-wide default registry (ctcr.*, kernel.*,
+//   /varz      cct.*, fault.*, obs.*) plus the ServeStats per-instance
+//              registry (serve.*) as one merged view.
+//   /statusz   adds an "app" object: dataset scale, active snapshot
+//              version, the retain-K version history, breaker state, and
+//              the last rebuild outcome.
+//
+//   serve::ExpositionOptions opts;
+//   opts.enabled = true;                       // default off: opt-in port
+//   opts.port = 9187;                          // 0 = pick a free port
+//   serve::ServingExposition exposition(&store, &scheduler, &stats, opts);
+//   OCT_RETURN_NOT_OK(exposition.Start());
+//   ... curl localhost:9187/metrics ...
+//   exposition.Stop();
+
+#ifndef OCT_SERVE_EXPOSITION_H_
+#define OCT_SERVE_EXPOSITION_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/expose.h"
+#include "serve/rebuild_scheduler.h"
+#include "serve/serve_stats.h"
+#include "serve/tree_store.h"
+#include "util/status.h"
+
+namespace oct {
+namespace serve {
+
+/// ServeOptions-style knob block: the subset of obs::ExpositionOptions an
+/// operator configures, plus the enable switch.
+struct ExpositionOptions {
+  /// Off by default — serving processes opt in to opening a port.
+  bool enabled = false;
+  /// 0 picks any free port (read back via ServingExposition::port()).
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+};
+
+class ServingExposition {
+ public:
+  /// `store` must be non-null; `scheduler` and `stats` may be null (health
+  /// then checks only snapshot availability, and /metrics renders only the
+  /// default registry). All referenced objects must outlive this instance.
+  ServingExposition(const TreeStore* store, const RebuildScheduler* scheduler,
+                    const ServeStats* stats, ExpositionOptions options = {});
+  ~ServingExposition();
+
+  ServingExposition(const ServingExposition&) = delete;
+  ServingExposition& operator=(const ServingExposition&) = delete;
+
+  /// Starts the HTTP server. Returns OK without opening a port when
+  /// options.enabled is false, so call sites can Start() unconditionally.
+  Status Start();
+  void Stop();
+
+  bool running() const;
+  /// Bound port while running (resolves port 0); 0 otherwise.
+  int port() const;
+
+  /// The /healthz answer (also usable without the HTTP server running).
+  obs::HealthReport Health() const;
+
+  /// The "app" object /statusz embeds, as a JSON string.
+  std::string StatusJson() const;
+
+  /// The underlying server (for tests that drive HandleRequest directly).
+  obs::ExpositionServer* server() { return server_.get(); }
+
+ private:
+  const TreeStore* const store_;
+  const RebuildScheduler* const scheduler_;
+  ExpositionOptions options_;
+  std::unique_ptr<obs::ExpositionServer> server_;
+};
+
+}  // namespace serve
+}  // namespace oct
+
+#endif  // OCT_SERVE_EXPOSITION_H_

@@ -15,6 +15,7 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/span_ring.h"
 #include "obs/trace.h"
 
 namespace oct {
@@ -387,6 +388,58 @@ TEST_F(TraceTest, SpanOpenAcrossDisableStillCloses) {
   spans = CollectSpans();
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_STREQ(spans[0].name, "closing");
+}
+
+TEST_F(TraceTest, CompletedSpansFeedTheInstalledRingAndCollection) {
+  SpanRing ring(64);
+  SpanRing::InstallGlobal(&ring);
+  { OCT_SPAN("ringed"); }
+  SpanRing::InstallGlobal(nullptr);
+
+  const auto latest = ring.Latest(8);
+  ASSERT_EQ(latest.size(), 1u);
+  EXPECT_STREQ(latest[0].name, "ringed");
+  // The ring is a copy, not a diversion: collection still sees the span.
+  const auto spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "ringed");
+}
+
+TEST_F(TraceTest, SpanFinishingAfterRingUninstallIsSafe) {
+  // The exposition server's Stop() (or a test tearing its ring down) can
+  // race a span that is still open; the span must complete into the
+  // collection buffer without touching the departed ring.
+  SpanRing ring(64);
+  {
+    SpanRing::InstallGlobal(&ring);
+    OCT_SPAN("outlives_ring");
+    SpanRing::InstallGlobal(nullptr);
+  }
+  EXPECT_EQ(ring.total_added(), 0u);
+  const auto spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "outlives_ring");
+}
+
+TEST_F(TraceTest, PerThreadBufferCapDropsAreCounted) {
+  // Mirrors kMaxEventsPerThread in trace.cc: a runaway traced loop stops
+  // growing its buffer at the cap and counts the overflow instead of
+  // silently discarding it.
+  constexpr size_t kCap = 1 << 20;
+  constexpr size_t kOverflow = 10;
+  Counter* dropped = MetricsRegistry::Default()->GetCounter(
+      "obs.spans_dropped");
+  const uint64_t dropped_before = dropped->Value();
+
+  std::thread flood([] {
+    for (size_t i = 0; i < kCap + kOverflow; ++i) {
+      OCT_SPAN("flood");
+    }
+  });
+  flood.join();  // Thread exit flushes the capped buffer into the orphans.
+
+  EXPECT_GE(dropped->Value() - dropped_before, kOverflow);
+  ClearSpans();  // Discard the ~1M orphaned flood spans without sorting.
 }
 
 TEST_F(TraceTest, ThreadsGetDistinctIdsAndAllSpansCollect) {

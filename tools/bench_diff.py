@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare two OCT_BENCH_JSON reports and flag wall-time regressions.
+
+Inputs may be either a merged snapshot from tools/bench_snapshot.sh
+({"date": ..., "runs": {name: <report>, ...}}) or a single bare report
+({"bench": ..., "metrics": ..., "spans": ...}); the two forms can be mixed.
+
+What gets compared, per run, is every *time* series a report carries:
+
+  span:<name>          mean milliseconds per span (total_ms / count)
+  hist:<name>          mean recorded value of time-named histograms
+                       (names ending in _us/_micros/_ms/_millis/
+                        _seconds/_secs/_ns)
+
+Counters, scores, and non-time histograms are ignored: they measure
+behavior, not speed, and have their own tests. Means rather than totals
+are compared so a snapshot with more iterations is not "slower".
+
+Exit status: 1 when any series regressed beyond --threshold (default
+15% slower), 2 on usage or parse errors, 0 otherwise. Series below
+--min-ms in the baseline are reported but never gate: micro-timings
+jitter far beyond any sane threshold.
+
+  $ tools/bench_diff.py bench/history/baseline.json BENCH_2026-08-06.json
+  $ tools/bench_diff.py --threshold 0.30 old.json new.json
+"""
+
+import argparse
+import json
+import sys
+
+TIME_SUFFIXES = ("_us", "_micros", "_ms", "_millis", "_seconds", "_secs",
+                 "_ns")
+
+# Scale factors into milliseconds, keyed by suffix.
+UNIT_TO_MS = {
+    "_us": 1e-3,
+    "_micros": 1e-3,
+    "_ms": 1.0,
+    "_millis": 1.0,
+    "_seconds": 1e3,
+    "_secs": 1e3,
+    "_ns": 1e-6,
+}
+
+
+def load_runs(path):
+    """Returns {run_name: report} for a snapshot or a bare report file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"bench_diff: cannot read {path}: {err}")
+    if not isinstance(doc, dict):
+        raise SystemExit(f"bench_diff: {path}: expected a JSON object")
+    if "runs" in doc and isinstance(doc["runs"], dict):
+        return doc["runs"]
+    return {doc.get("bench", "default"): doc}
+
+
+def time_series(report):
+    """Extracts {series_name: mean_ms} from one bare report."""
+    series = {}
+    for span in report.get("spans", []) or []:
+        count = span.get("count", 0)
+        if count > 0:
+            series[f"span:{span['name']}"] = span["total_ms"] / count
+    histograms = (report.get("metrics", {}) or {}).get("histograms", {}) or {}
+    for name, snap in histograms.items():
+        scale = next((UNIT_TO_MS[s] for s in TIME_SUFFIXES
+                      if name.endswith(s)), None)
+        if scale is None:
+            continue
+        count = snap.get("count", 0)
+        if count > 0:
+            series[f"hist:{name}"] = snap["sum"] * scale / count
+    return series
+
+
+def flatten(runs):
+    """{run/series: mean_ms} across every run in a snapshot."""
+    flat = {}
+    for run_name, report in runs.items():
+        for series_name, mean_ms in time_series(report).items():
+            flat[f"{run_name}/{series_name}"] = mean_ms
+    return flat
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two bench snapshots; non-zero exit on regression.")
+    parser.add_argument("baseline", help="older snapshot or report")
+    parser.add_argument("current", help="newer snapshot or report")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative slowdown that fails the gate "
+                             "(0.15 = 15%% slower; default %(default)s)")
+    parser.add_argument("--min-ms", type=float, default=0.05,
+                        help="baseline means below this many ms are shown "
+                             "but never gate (default %(default)s)")
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    base = flatten(load_runs(args.baseline))
+    cur = flatten(load_runs(args.current))
+    if not base:
+        print(f"bench_diff: no time series in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    rows = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            rows.append((name, None, cur[name], None, "new"))
+            continue
+        if name not in cur:
+            rows.append((name, base[name], None, None, "gone"))
+            continue
+        b, c = base[name], cur[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        if b < args.min_ms:
+            verdict = "noise" if abs(delta) > args.threshold else "ok"
+        elif delta > args.threshold:
+            verdict = "REGRESSED"
+            regressions.append((name, b, c, delta))
+        elif delta < -args.threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append((name, b, c, delta, verdict))
+
+    name_width = max(len(r[0]) for r in rows)
+    fmt_ms = lambda v: f"{v:12.4f}" if v is not None else f"{'-':>12}"
+    fmt_pct = lambda d: f"{d * 100:+9.1f}%" if d is not None else f"{'-':>10}"
+    print(f"{'series':<{name_width}} {'base ms':>12} {'current ms':>12} "
+          f"{'delta':>10}  verdict")
+    for name, b, c, delta, verdict in rows:
+        print(f"{name:<{name_width}} {fmt_ms(b)} {fmt_ms(c)} "
+              f"{fmt_pct(delta)}  {verdict}")
+
+    if regressions:
+        print(f"\n{len(regressions)} series regressed beyond "
+              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for name, b, c, delta in regressions:
+            print(f"  {name}: {b:.4f} ms -> {c:.4f} ms "
+                  f"({delta * 100:+.1f}%)", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold * 100:.0f}% "
+          f"(compared {len([r for r in rows if r[3] is not None])} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Captures a dated benchmark snapshot: runs micro_benchmarks,
-# kernel_speedup, and serving_throughput with OCT_BENCH_JSON and merges
-# their structured reports into BENCH_<date>.json at the repo root. Diff two snapshots to
-# see performance drift between commits.
+# kernel_speedup, and serving_throughput with OCT_BENCH_JSON, merges their
+# structured reports into bench/history/BENCH_<date>.json, and (when
+# bench/history/baseline.json exists) prints a non-blocking drift report
+# against it via tools/bench_diff.py. The history directory accumulates one
+# snapshot per day so performance drift between commits stays diffable:
 #
 #   $ tools/bench_snapshot.sh             # build dir: build
 #   $ tools/bench_snapshot.sh my-build    # custom build dir
+#   $ tools/bench_diff.py bench/history/baseline.json \
+#         bench/history/BENCH_$(date +%Y-%m-%d).json
 #
 # Requires the benchmarks to be built (cmake --build <dir>).
 
@@ -13,7 +17,8 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT="$REPO_ROOT/BENCH_$(date +%Y-%m-%d).json"
+HISTORY_DIR="$REPO_ROOT/bench/history"
+OUT="$HISTORY_DIR/BENCH_$(date +%Y-%m-%d).json"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
@@ -29,6 +34,7 @@ for bench in micro_benchmarks kernel_speedup serving_throughput; do
 done
 
 # Merge per-bench reports into {"date":...,"runs":{name:<report>,...}}.
+mkdir -p "$HISTORY_DIR"
 {
   printf '{"date":"%s","runs":{' "$(date +%Y-%m-%dT%H:%M:%S)"
   first=1
@@ -43,3 +49,13 @@ done
 } > "$OUT"
 
 echo "wrote $OUT"
+
+# Advisory drift report: snapshots on a developer box are too noisy to hard
+# gate here, so the diff never fails the snapshot. CI runs bench_diff
+# directly where it wants an exit code.
+BASELINE="$HISTORY_DIR/baseline.json"
+if [ -f "$BASELINE" ] && command -v python3 > /dev/null; then
+  echo
+  echo "== drift vs $(basename "$BASELINE") (advisory) =="
+  python3 "$REPO_ROOT/tools/bench_diff.py" "$BASELINE" "$OUT" || true
+fi

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format 0.0.4 on stdin or a file.
+
+Structural checks, not a full client: every non-comment line must be
+`name[{labels}] value`, names in [a-zA-Z_:][a-zA-Z0-9_:]*, values numeric
+(or +Inf/-Inf/NaN); # TYPE values must be counter/gauge/histogram; every
+histogram must end its _bucket series with le="+Inf" and agree with its
+_count. --require <prefix> (repeatable) additionally demands at least one
+sample with that prefix — the CI smoke job uses this to prove the serve.*,
+ctcr.*, and kernel.* families all made it into /metrics.
+
+  $ curl -s localhost:9187/metrics | tools/check_prom_text.py --require serve_
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def is_number(token):
+    if token in ("+Inf", "-Inf", "NaN"):
+        return True
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate Prometheus text format; exit 1 on violations.")
+    parser.add_argument("path", nargs="?", default="-",
+                        help="file to check ('-' or omitted: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless a sample name starts with PREFIX "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    errors = []
+    samples = {}           # name -> last plain value
+    bucket_counts = {}     # histogram name -> {le: value}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in VALID_TYPES:
+                    errors.append(f"line {lineno}: bad TYPE line: {line!r}")
+                elif not NAME_RE.fullmatch(parts[2]):
+                    errors.append(
+                        f"line {lineno}: invalid metric name {parts[2]!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels, value = m.groups()
+        if not is_number(value):
+            errors.append(f"line {lineno}: non-numeric value: {line!r}")
+            continue
+        if labels and name.endswith("_bucket"):
+            le = re.search(r'le="([^"]*)"', labels)
+            if le is None:
+                errors.append(f"line {lineno}: _bucket without le: {line!r}")
+            else:
+                hist = name[: -len("_bucket")]
+                bucket_counts.setdefault(hist, {})[le.group(1)] = float(value)
+        elif not labels:
+            samples[name] = float(value)
+
+    for hist, buckets in bucket_counts.items():
+        if "+Inf" not in buckets:
+            errors.append(f"histogram {hist}: no le=\"+Inf\" bucket")
+            continue
+        count = samples.get(hist + "_count")
+        if count is not None and buckets["+Inf"] != count:
+            errors.append(
+                f"histogram {hist}: +Inf bucket {buckets['+Inf']:.0f} != "
+                f"_count {count:.0f}")
+        cumulative = -1.0
+        for le, v in sorted(
+                ((float(le), v) for le, v in buckets.items()
+                 if le != "+Inf")):
+            if v < cumulative:
+                errors.append(
+                    f"histogram {hist}: buckets not cumulative at "
+                    f"le={le:g}")
+                break
+            cumulative = v
+
+    for prefix in args.require:
+        if not any(n.startswith(prefix) for n in samples):
+            errors.append(f"no sample with required prefix {prefix!r}")
+
+    if errors:
+        for err in errors:
+            print(f"check_prom_text: {err}", file=sys.stderr)
+        return 1
+    print(f"check_prom_text: OK ({len(samples)} plain samples, "
+          f"{len(bucket_counts)} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

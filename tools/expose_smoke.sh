@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the exposition endpoint: launches the
+# online_store example with OCT_EXPOSE_PORT, waits for the port, scrapes
+# /metrics, /healthz, and /statusz with curl, and validates the /metrics
+# payload with tools/check_prom_text.py (format + presence of the serve.*,
+# ctcr.*, and kernel.* families). Run by the CI exposition-smoke job;
+# works identically on a laptop:
+#
+#   $ tools/expose_smoke.sh             # build dir: build, port 9187
+#   $ tools/expose_smoke.sh my-build 9999
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+PORT="${2:-9187}"
+BIN="$BUILD_DIR/examples/online_store"
+TMP_DIR="$(mktemp -d)"
+
+if [ ! -x "$BIN" ]; then
+  echo "missing $BIN -- build the examples first:" >&2
+  echo "  cmake -B $BUILD_DIR -S $REPO_ROOT && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+OCT_EXPOSE_PORT="$PORT" OCT_EXPOSE_LINGER_SECONDS=60 \
+  "$BIN" > "$TMP_DIR/online_store.log" 2>&1 &
+STORE_PID=$!
+trap 'kill "$STORE_PID" 2> /dev/null || true; wait "$STORE_PID" 2> /dev/null || true; rm -rf "$TMP_DIR"' EXIT
+
+# The walkthrough builds a tree before lingering; give it time on slow CI.
+BASE="http://127.0.0.1:$PORT"
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" > /dev/null 2>&1; then break; fi
+  if ! kill -0 "$STORE_PID" 2> /dev/null; then
+    echo "online_store exited before serving; log:" >&2
+    cat "$TMP_DIR/online_store.log" >&2
+    exit 1
+  fi
+  sleep 0.3
+done
+
+echo "== /healthz =="
+HEALTH="$(curl -sf "$BASE/healthz")"
+echo "$HEALTH"
+case "$HEALTH" in
+  ok*) ;;
+  *) echo "expected healthy process, got: $HEALTH" >&2; exit 1 ;;
+esac
+
+echo "== /statusz =="
+STATUS="$(curl -sf "$BASE/statusz")"
+echo "$STATUS" | head -c 400; echo
+python3 -c 'import json,sys; doc=json.loads(sys.argv[1]); \
+  assert doc["app"]["snapshot_version"] >= 1, "no snapshot published"; \
+  assert doc["endpoints"], "no endpoints listed"' "$STATUS"
+
+echo "== /metrics =="
+curl -sf "$BASE/metrics" > "$TMP_DIR/metrics.txt"
+head -n 6 "$TMP_DIR/metrics.txt"
+echo "..."
+python3 "$REPO_ROOT/tools/check_prom_text.py" "$TMP_DIR/metrics.txt" \
+  --require serve_ --require ctcr_ --require kernel_
+
+echo "exposition smoke: OK"
