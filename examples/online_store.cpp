@@ -21,6 +21,8 @@
 
 #include "data/datasets.h"
 #include "obs/trace.h"
+#include "router/query_parse.h"
+#include "router/router.h"
 #include "serve/exposition.h"
 #include "serve/rebuild_scheduler.h"
 #include "serve/serve_stats.h"
@@ -51,8 +53,20 @@ int main() {
     obs::SpanRing::InstallGlobal(&span_ring);
     obs::SetTracingEnabled(true);
   }
+  // The query router: live user queries -> ranked category paths against
+  // whatever snapshot is current. Mounted on the exposition as /route.
+  router::RouterOptions router_options;
+  router_options.num_workers = 2;
+  const char* router_workers = std::getenv("OCT_ROUTER_WORKERS");
+  if (router_workers != nullptr) {
+    router_options.num_workers =
+        static_cast<size_t>(std::atoi(router_workers));
+  }
+  router::Router router(&store, ds.engine.get(), router_options);
+  router.Start();
+
   serve::ServingExposition exposition(&store, &scheduler, &stats,
-                                      expose_options);
+                                      expose_options, &router);
   {
     const Status st = exposition.Start();
     if (!st.ok()) {
@@ -61,7 +75,7 @@ int main() {
     }
     if (exposition.running()) {
       std::printf("exposition serving on http://127.0.0.1:%d "
-                  "(/metrics /varz /healthz /tracez /statusz)\n\n",
+                  "(/metrics /varz /healthz /tracez /statusz /route)\n\n",
                   exposition.port());
     }
   }
@@ -97,6 +111,39 @@ int main() {
     const NodeId leaf = snap->PlacementsOf(item).front();
     std::printf("   [%zu items in subtree]\n", snap->SubtreeItemCount(leaf));
     ++printed;
+  }
+
+  // --- Live query routing: the front end a user-facing search box hits.
+  // Each text query resolves to a result set through the engine, then the
+  // router scores it against the current snapshot's categories. ----------
+  std::printf("\nrouting sample queries against v%llu:\n",
+              static_cast<unsigned long long>(store.CurrentVersion()));
+  for (const char* text : {"nike", "shirt black", "adidas shoes"}) {
+    const auto parsed = router::ParseQuery(text, *ds.catalog);
+    if (!parsed.ok()) {
+      std::printf("  \"%s\": %s\n", text, parsed.status().ToString().c_str());
+      continue;
+    }
+    router::RouteRequest request;
+    request.query = *parsed;
+    request.top_k = 2;
+    const router::RouteResult routed = router.Route(std::move(request));
+    std::printf("  \"%s\" (%zu items):", text, routed.result_set_size);
+    if (routed.ranked.empty()) {
+      std::printf(" no category above the Jaccard floor (%s)\n",
+                  routed.status.ToString().c_str());
+      continue;
+    }
+    for (const router::RoutedCategory& category : routed.ranked) {
+      std::printf("  [");
+      for (size_t i = 1; i < category.path.size(); ++i) {
+        std::printf("%s%s", i > 1 ? " > " : "",
+                    category.path[i].empty() ? "(unlabeled)"
+                                             : category.path[i].c_str());
+      }
+      std::printf(" j=%.2f]", category.jaccard);
+    }
+    std::printf("\n");
   }
 
   // --- Day 10: a fresh batch from a trend-heavy recent window — the kind
@@ -163,6 +210,7 @@ int main() {
   }
 
   std::printf("\nstats: %s\n", stats.Snapshot().ToString().c_str());
+  std::printf("router: %s\n", router.stats().Snapshot().ToString().c_str());
 
   // Keep the exposition endpoint up for scrapers before exiting (CI smoke
   // job; manual curl sessions). The serving objects above stay live.

@@ -7,6 +7,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <condition_variable>
@@ -65,23 +66,12 @@ const char* ReasonPhrase(int status) {
   }
 }
 
-std::string MakeResponse(int status, const std::string& content_type,
-                         const std::string& body) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
-                    ReasonPhrase(status) + "\r\n";
-  out += "Content-Type: " + content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
 std::string TextResponse(int status, const std::string& body) {
-  return MakeResponse(status, "text/plain; charset=utf-8", body);
+  return MakeHttpResponse(status, "text/plain; charset=utf-8", body);
 }
 
 std::string JsonResponse(int status, const std::string& body) {
-  return MakeResponse(status, "application/json", body);
+  return MakeHttpResponse(status, "application/json", body);
 }
 
 void AppendPrometheusValue(std::string* out, double value) {
@@ -116,6 +106,60 @@ std::string EscapeHelp(const std::string& s) {
 
 }  // namespace
 
+std::string MakeHttpResponse(int status, const std::string& content_type,
+                             const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    ReasonPhrase(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+namespace {
+
+/// Percent-decodes one URL query component; '+' means space.
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return c - 'A' + 10;
+      };
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string HttpQueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return UrlDecode(query.substr(eq + 1, amp - eq - 1));
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
 Result<HttpRequest> ParseHttpRequest(const std::string& raw) {
   const size_t line_end = raw.find("\r\n");
   const std::string line =
@@ -136,9 +180,13 @@ Result<HttpRequest> ParseHttpRequest(const std::string& raw) {
   HttpRequest request;
   request.method = line.substr(0, sp1);
   request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Query strings are accepted but ignored: every endpoint is parameterless.
+  // Built-in endpoints are parameterless; extra endpoints (e.g. /route)
+  // read parameters from `query` via HttpQueryParam.
   const size_t query = request.path.find('?');
-  if (query != std::string::npos) request.path.resize(query);
+  if (query != std::string::npos) {
+    request.query = request.path.substr(query + 1);
+    request.path.resize(query);
+  }
   if (request.path.empty() || request.path[0] != '/') {
     return Status::InvalidArgument("malformed request target: " +
                                    request.path);
@@ -457,8 +505,8 @@ std::string ExpositionServer::HandleRequest(
 std::string ExpositionServer::RespondTo(const HttpRequest& request) const {
   OCT_SPAN("obs/expose_request");
   if (request.path == "/metrics") {
-    return MakeResponse(200, "text/plain; version=0.0.4; charset=utf-8",
-                        RenderPrometheus(options_.registries));
+    return MakeHttpResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                            RenderPrometheus(options_.registries));
   }
   if (request.path == "/varz") {
     // /varz merges like /metrics: one JSON document per registry under its
@@ -510,12 +558,21 @@ std::string ExpositionServer::RespondTo(const HttpRequest& request) const {
          {"/metrics", "/varz", "/healthz", "/tracez", "/statusz"}) {
       w.String(e);
     }
+    for (const ExpositionOptions::Endpoint& e : options_.extra_endpoints) {
+      w.String(e.path);
+    }
     w.EndArray();
     if (options_.status_json) {
       w.Key("app").Raw(options_.status_json());
     }
     w.EndObject();
     return JsonResponse(200, w.str());
+  }
+  for (const ExpositionOptions::Endpoint& endpoint :
+       options_.extra_endpoints) {
+    if (request.path == endpoint.path && endpoint.handler) {
+      return endpoint.handler(request);
+    }
   }
   return TextResponse(404, "no such endpoint: " + request.path + "\n");
 }

@@ -52,6 +52,8 @@ struct HealthReport {
   std::string detail;
 };
 
+struct HttpRequest;
+
 struct ExpositionOptions {
   /// TCP port to bind; 0 picks any free port (read it back via port()).
   int port = 0;
@@ -82,17 +84,38 @@ struct ExpositionOptions {
   /// {"serving":{...}}-style content without the outer braces is NOT
   /// expected — return a complete object; it is spliced under "app").
   std::function<std::string()> status_json;
+  /// Application GET endpoints beyond the built-in five, matched on exact
+  /// path after the built-ins. Handlers return a *complete* HTTP response
+  /// (use MakeHttpResponse) and must be thread-safe — they run on handler
+  /// threads. The serving stack mounts /route here.
+  struct Endpoint {
+    std::string path;
+    std::function<std::string(const HttpRequest&)> handler;
+  };
+  std::vector<Endpoint> extra_endpoints;
 };
 
 /// One parsed HTTP request line (the only part of a request we interpret).
 struct HttpRequest {
   std::string method;
   std::string path;
+  /// Raw query string after '?' (no leading '?'); "" when absent. Parse
+  /// individual parameters with HttpQueryParam.
+  std::string query;
 };
 
 /// Parses the request-line + header block in `raw`. Fails with
 /// InvalidArgument on malformed input. Exposed for tests.
 Result<HttpRequest> ParseHttpRequest(const std::string& raw);
+
+/// Value of `key` in a URL query string ("a=1&b=2"), percent-decoded with
+/// '+' as space; "" when the key is absent.
+std::string HttpQueryParam(const std::string& query, const std::string& key);
+
+/// Builds a full HTTP/1.1 response (status line, Content-Type/Length,
+/// Connection: close, body) — the building block custom endpoints use.
+std::string MakeHttpResponse(int status, const std::string& content_type,
+                             const std::string& body);
 
 /// Sanitizes a metric name into the Prometheus charset
 /// [a-zA-Z_:][a-zA-Z0-9_:]*: every other byte becomes '_', and a leading

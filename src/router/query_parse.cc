@@ -1,0 +1,113 @@
+#include "router/query_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace oct {
+namespace router {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '+' || c == ',') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool ParseIndex(const std::string& s, uint16_t* out) {
+  if (s.empty()) return false;
+  unsigned long value = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+    if (value > 0xffff) return false;
+  }
+  *out = static_cast<uint16_t>(value);
+  return true;
+}
+
+Status UnknownToken(const std::string& token) {
+  return Status::InvalidArgument("unrecognized query token: \"" + token +
+                                 "\"");
+}
+
+/// Resolves one token into an (attr, value) conjunct.
+Status ResolveToken(const std::string& token, const data::Catalog& catalog,
+                    std::pair<uint16_t, uint16_t>* out) {
+  const data::DomainSchema& schema = catalog.schema();
+
+  const size_t colon = token.find(':');
+  if (colon != std::string::npos) {
+    uint16_t attr = 0;
+    uint16_t value = 0;
+    if (!ParseIndex(token.substr(0, colon), &attr) ||
+        !ParseIndex(token.substr(colon + 1), &value) ||
+        attr >= schema.attributes.size() ||
+        value >= schema.attributes[attr].values.size()) {
+      return UnknownToken(token);
+    }
+    *out = {attr, value};
+    return Status::OK();
+  }
+
+  const size_t eq = token.find('=');
+  if (eq != std::string::npos) {
+    const std::string attr_name = token.substr(0, eq);
+    const std::string value_name = token.substr(eq + 1);
+    for (size_t a = 0; a < schema.attributes.size(); ++a) {
+      if (schema.attributes[a].name != attr_name) continue;
+      const auto& values = schema.attributes[a].values;
+      for (size_t v = 0; v < values.size(); ++v) {
+        if (values[v] == value_name) {
+          *out = {static_cast<uint16_t>(a), static_cast<uint16_t>(v)};
+          return Status::OK();
+        }
+      }
+      return UnknownToken(token);
+    }
+    return UnknownToken(token);
+  }
+
+  // Bare word: first attribute (schema order) carrying the value wins —
+  // deterministic, and vocabularies are disjoint in practice.
+  for (size_t a = 0; a < schema.attributes.size(); ++a) {
+    const auto& values = schema.attributes[a].values;
+    for (size_t v = 0; v < values.size(); ++v) {
+      if (values[v] == token) {
+        *out = {static_cast<uint16_t>(a), static_cast<uint16_t>(v)};
+        return Status::OK();
+      }
+    }
+  }
+  return UnknownToken(token);
+}
+
+}  // namespace
+
+Result<data::Query> ParseQuery(const std::string& text,
+                               const data::Catalog& catalog) {
+  const std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  data::Query query;
+  for (const std::string& token : tokens) {
+    std::pair<uint16_t, uint16_t> conjunct;
+    OCT_RETURN_NOT_OK(ResolveToken(token, catalog, &conjunct));
+    query.conjuncts.push_back(conjunct);
+  }
+  return query;
+}
+
+}  // namespace router
+}  // namespace oct

@@ -1,0 +1,32 @@
+// Text → data::Query parsing for the /route endpoint and CLI tools.
+//
+// Accepted token forms (tokens separated by spaces, '+', or commas):
+//   nike            bare value word, resolved against every attribute
+//                   vocabulary ("nike" → brand=nike)
+//   brand=nike      attribute name = value name
+//   1:3             numeric attribute:value indices (scripting/bench form)
+//
+// so `/route?q=nike+shirt` and `/route?q=0:0,1:2` both work. Unknown words
+// or out-of-range indices yield InvalidArgument (HTTP 400 upstream).
+
+#ifndef OCT_ROUTER_QUERY_PARSE_H_
+#define OCT_ROUTER_QUERY_PARSE_H_
+
+#include <string>
+
+#include "data/catalog.h"
+#include "data/search_engine.h"
+#include "util/status.h"
+
+namespace oct {
+namespace router {
+
+/// Parses `text` into a conjunctive query against `catalog`'s schema.
+/// InvalidArgument when empty or any token fails to resolve.
+Result<data::Query> ParseQuery(const std::string& text,
+                               const data::Catalog& catalog);
+
+}  // namespace router
+}  // namespace oct
+
+#endif  // OCT_ROUTER_QUERY_PARSE_H_

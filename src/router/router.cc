@@ -1,0 +1,300 @@
+#include "router/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/failpoint.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace oct {
+namespace router {
+
+Router::Router(const serve::TreeStore* store, const data::SearchEngine* engine,
+               RouterOptions options)
+    : store_(store), engine_(engine), options_(std::move(options)) {
+  OCT_CHECK(store_ != nullptr);
+  OCT_CHECK(engine_ != nullptr);
+  OCT_CHECK(options_.num_workers > 0);
+  OCT_CHECK(options_.max_queue > 0);
+  OCT_CHECK(options_.max_batch > 0);
+}
+
+Router::~Router() { Stop(); }
+
+void Router::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Router::Stop() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+  stopping_ = false;
+}
+
+bool Router::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stopping_;
+}
+
+size_t Router::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::shared_ptr<const RouteIndex> Router::CurrentIndex() const {
+  std::shared_ptr<const serve::TreeSnapshot> snapshot = store_->Current();
+  if (snapshot == nullptr) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (index_cache_ != nullptr &&
+        index_cache_->version() == snapshot->version()) {
+      return index_cache_;
+    }
+  }
+  // Build outside the lock: concurrent workers may both build on a version
+  // flip (rare — once per publish), but neither blocks routing meanwhile.
+  std::shared_ptr<const RouteIndex> built =
+      RouteIndex::Build(std::move(snapshot), options_.index_options);
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (index_cache_ == nullptr || built->version() >= index_cache_->version()) {
+    index_cache_ = built;
+    stats_.SetIndexVersion(static_cast<int64_t>(built->version()));
+  }
+  return index_cache_;
+}
+
+Status Router::Submit(RouteRequest request,
+                      std::function<void(RouteResult)> done) {
+  OCT_CHECK(done != nullptr);
+  Status injected = OCT_FAILPOINT("router.enqueue");
+  if (!injected.ok()) {
+    stats_.RecordShedQueueFull();
+    return Status::ResourceExhausted("router: admission rejected (injected): " +
+                                     injected.message());
+  }
+
+  Pending pending;
+  const double deadline = request.deadline_seconds > 0.0
+                              ? request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  if (deadline > 0.0) {
+    pending.cancel = fault::CancelToken::WithDeadline(deadline);
+  }
+  if (pending.cancel.Cancelled()) {
+    stats_.RecordShedDeadline();
+    return Status::DeadlineExceeded("router: deadline expired at admission");
+  }
+  pending.request = std::move(request);
+  pending.done = std::move(done);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      return Status::FailedPrecondition("router: not running");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      stats_.RecordShedQueueFull();
+      return Status::ResourceExhausted("router: queue full");
+    }
+    pending.enqueue_elapsed = uptime_.ElapsedSeconds();
+    queue_.push_back(std::move(pending));
+    stats_.SetQueueDepth(static_cast<int64_t>(queue_.size()));
+  }
+  stats_.RecordAdmitted();
+  cv_.notify_one();
+  return Status::OK();
+}
+
+RouteResult Router::Route(RouteRequest request) {
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    RouteResult result;
+    bool ready = false;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  Status admitted = Submit(std::move(request), [waiter](RouteResult r) {
+    std::lock_guard<std::mutex> lock(waiter->mu);
+    waiter->result = std::move(r);
+    waiter->ready = true;
+    waiter->cv.notify_one();
+  });
+  if (!admitted.ok()) {
+    RouteResult shed;
+    shed.status = std::move(admitted);
+    shed.shed = true;
+    return shed;
+  }
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->ready; });
+  return std::move(waiter->result);
+}
+
+RouteResult Router::RouteSerial(const RouteRequest& request) const {
+  Timer timer;
+  fault::CancelToken cancel;
+  const double deadline = request.deadline_seconds > 0.0
+                              ? request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  if (deadline > 0.0) cancel = fault::CancelToken::WithDeadline(deadline);
+
+  RouteResult result;
+  std::shared_ptr<const RouteIndex> index = CurrentIndex();
+  if (index == nullptr) {
+    result.status = Status::FailedPrecondition("router: no published tree");
+  } else {
+    result = ProcessOne(*index, request, cancel);
+  }
+  result.total_seconds = timer.ElapsedSeconds();
+  FinishResult(result);
+  stats_.RecordRoute(result.total_seconds);
+  return result;
+}
+
+void Router::WorkerLoop() {
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      const size_t take = std::min(queue_.size(), options_.max_batch);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.SetQueueDepth(static_cast<int64_t>(queue_.size()));
+    }
+    const double dequeue_elapsed = uptime_.ElapsedSeconds();
+    stats_.RecordBatch(batch.size());
+
+    // router.batch: delay stalls the worker here with the batch already
+    // claimed (the queue fills behind it — the shed test), error fails the
+    // whole batch (answers still delivered, as errors).
+    Status batch_status = OCT_FAILPOINT("router.batch");
+
+    // Pin ONE index — one snapshot — for the whole batch. Every answer in
+    // this batch is computed against the same tree version even if the
+    // store publishes mid-batch.
+    std::shared_ptr<const RouteIndex> index =
+        batch_status.ok() ? CurrentIndex() : nullptr;
+
+    for (Pending& pending : batch) {
+      Timer timer;
+      RouteResult result;
+      result.queue_seconds = dequeue_elapsed - pending.enqueue_elapsed;
+      stats_.RecordQueueWait(result.queue_seconds);
+      if (!batch_status.ok()) {
+        result.status = batch_status;
+      } else if (pending.cancel.Cancelled()) {
+        // Budget gone before scoring began: shed, don't compute.
+        result.status =
+            Status::DeadlineExceeded("router: deadline expired in queue");
+        result.shed = true;
+      } else if (index == nullptr) {
+        result.status = Status::FailedPrecondition("router: no published tree");
+      } else {
+        result = ProcessOne(*index, pending.request, pending.cancel);
+        result.queue_seconds = dequeue_elapsed - pending.enqueue_elapsed;
+      }
+      result.total_seconds =
+          result.queue_seconds + timer.ElapsedSeconds();
+      FinishResult(result);
+      stats_.RecordRoute(result.total_seconds);
+      pending.done(std::move(result));
+    }
+  }
+}
+
+RouteResult Router::ProcessOne(const RouteIndex& index,
+                               const RouteRequest& request,
+                               const fault::CancelToken& cancel) const {
+  OCT_SPAN("router/route");
+  RouteResult result;
+  result.version = index.version();
+
+  Status injected = OCT_FAILPOINT("router.resolve");
+  if (!injected.ok()) {
+    result.status = std::move(injected);
+    return result;
+  }
+  Result<ItemSet> resolved =
+      engine_->TryResultSet(request.query, options_.relevance_threshold);
+  if (!resolved.ok()) {
+    result.status = resolved.status();
+    return result;
+  }
+  result.result_set_size = resolved->size();
+
+  injected = OCT_FAILPOINT("router.score");
+  if (!injected.ok()) {
+    result.status = std::move(injected);
+    return result;
+  }
+  const size_t top_k = request.top_k != 0 ? request.top_k : options_.top_k;
+  const double min_jaccard =
+      request.min_jaccard >= 0.0 ? request.min_jaccard : options_.min_jaccard;
+  std::vector<NodeScore> scores;
+  result.score_stats =
+      index.ScoreTopK(*resolved, top_k, min_jaccard, &cancel, &scores,
+                      request.max_score_nodes);
+  result.degraded = result.score_stats.degraded;
+  result.status = result.degraded
+                      ? Status::DeadlineExceeded(
+                            "router: budget hit mid-descent; best-so-far")
+                      : Status::OK();
+
+  const CategoryTree& tree = index.snapshot().tree();
+  result.ranked.reserve(scores.size());
+  for (const NodeScore& score : scores) {
+    RoutedCategory category;
+    category.node = score.node;
+    category.jaccard = score.jaccard;
+    category.containment = score.containment;
+    category.overlap = score.overlap;
+    category.depth = score.depth;
+    for (NodeId id : index.snapshot().PathTo(score.node)) {
+      category.path.push_back(tree.node(id).label);
+    }
+    result.ranked.push_back(std::move(category));
+  }
+  return result;
+}
+
+void Router::FinishResult(const RouteResult& result) const {
+  if (result.shed) {
+    stats_.RecordShedDeadline();
+    return;
+  }
+  if (result.degraded) stats_.RecordDegraded();
+  if (result.status.ok() || result.degraded) {
+    if (result.ranked.empty()) {
+      stats_.RecordUnrouted();
+    } else {
+      stats_.RecordRouted();
+    }
+    return;
+  }
+  stats_.RecordError();
+}
+
+}  // namespace router
+}  // namespace oct

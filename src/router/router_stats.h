@@ -1,0 +1,108 @@
+// RouterStats: counters, gauges, and latency histograms of the query
+// router, backed by a per-instance obs::MetricsRegistry (the ServeStats
+// pattern) so tests and multi-router processes get independent numbers
+// while the standard JSON/Prometheus exporters keep working. Recording
+// from worker threads never synchronizes (sharded relaxed counters).
+
+#ifndef OCT_ROUTER_ROUTER_STATS_H_
+#define OCT_ROUTER_ROUTER_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace oct {
+namespace router {
+
+/// Plain-value copy of every router metric, safe to pass around.
+struct RouterStatsSnapshot {
+  /// Requests admitted into the queue (Submit returned OK).
+  uint64_t requests = 0;
+  /// Requests answered with at least one ranked category.
+  uint64_t routed = 0;
+  /// Requests answered OK but with an empty ranking (no category reached
+  /// the Jaccard floor, or the query's result set was empty).
+  uint64_t unrouted = 0;
+  /// Requests rejected at admission because the queue was full.
+  uint64_t shed_queue_full = 0;
+  /// Requests dropped because their deadline expired before scoring began
+  /// (at admission or at dequeue).
+  uint64_t shed_deadline = 0;
+  /// Requests whose descent was cut short by deadline/budget but still
+  /// returned a valid best-so-far ranking.
+  uint64_t degraded = 0;
+  /// Requests failed by injected or real errors (resolve/score paths).
+  uint64_t errors = 0;
+  /// Worker batches drained from the queue.
+  uint64_t batches = 0;
+  /// Instantaneous queue depth.
+  int64_t queue_depth = 0;
+  /// TreeSnapshot version of the most recently pinned RouteIndex.
+  int64_t index_version = 0;
+
+  uint64_t TotalShed() const { return shed_queue_full + shed_deadline; }
+  double ShedRate() const {
+    const uint64_t offered = requests + shed_queue_full;
+    return offered == 0
+               ? 0.0
+               : static_cast<double>(TotalShed()) /
+                     static_cast<double>(offered);
+  }
+
+  /// One-line "k=v k=v ..." rendering for logs.
+  std::string ToString() const;
+};
+
+class RouterStats {
+ public:
+  RouterStats();
+  RouterStats(const RouterStats&) = delete;
+  RouterStats& operator=(const RouterStats&) = delete;
+
+  void RecordAdmitted() { requests_->Increment(); }
+  void RecordRouted() { routed_->Increment(); }
+  void RecordUnrouted() { unrouted_->Increment(); }
+  void RecordShedQueueFull() { shed_queue_full_->Increment(); }
+  void RecordShedDeadline() { shed_deadline_->Increment(); }
+  void RecordDegraded() { degraded_->Increment(); }
+  void RecordError() { errors_->Increment(); }
+  void RecordBatch(size_t size) {
+    batches_->Increment();
+    batch_size_->Record(static_cast<double>(size));
+  }
+  void SetQueueDepth(int64_t depth) { queue_depth_->Set(depth); }
+  void SetIndexVersion(int64_t version) { index_version_->Set(version); }
+  void RecordQueueWait(double seconds) { queue_us_->Record(seconds * 1e6); }
+  void RecordRoute(double seconds) { route_us_->Record(seconds * 1e6); }
+
+  RouterStatsSnapshot Snapshot() const;
+
+  /// End-to-end route latency histogram (microseconds) for percentile
+  /// reporting without re-aggregating.
+  const obs::Histogram& route_histogram() const { return *route_us_; }
+
+  /// The registry backing these stats; usable with obs::MetricsToJson.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
+ private:
+  obs::MetricsRegistry registry_;
+  obs::Counter* requests_;
+  obs::Counter* routed_;
+  obs::Counter* unrouted_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_deadline_;
+  obs::Counter* degraded_;
+  obs::Counter* errors_;
+  obs::Counter* batches_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* index_version_;
+  obs::Histogram* route_us_;
+  obs::Histogram* queue_us_;
+  obs::Histogram* batch_size_;
+};
+
+}  // namespace router
+}  // namespace oct
+
+#endif  // OCT_ROUTER_ROUTER_STATS_H_

@@ -1,9 +1,12 @@
 #include "serve/exposition.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "data/datasets.h"
 #include "obs/export.h"
+#include "router/query_parse.h"
+#include "router/router.h"
 
 namespace oct {
 namespace serve {
@@ -11,13 +14,25 @@ namespace serve {
 ServingExposition::ServingExposition(const TreeStore* store,
                                      const RebuildScheduler* scheduler,
                                      const ServeStats* stats,
-                                     ExpositionOptions options)
-    : store_(store), scheduler_(scheduler), options_(std::move(options)) {
+                                     ExpositionOptions options,
+                                     router::Router* router)
+    : store_(store),
+      scheduler_(scheduler),
+      router_(router),
+      options_(std::move(options)) {
   obs::ExpositionOptions server_options;
   server_options.port = options_.port;
   server_options.bind_address = options_.bind_address;
   server_options.registries.push_back(obs::MetricsRegistry::Default());
   if (stats != nullptr) server_options.registries.push_back(&stats->registry());
+  if (router_ != nullptr) {
+    server_options.registries.push_back(&router_->stats().registry());
+    server_options.extra_endpoints.push_back(
+        {"/route",
+         [this](const obs::HttpRequest& request) {
+           return HandleRoute(request);
+         }});
+  }
   server_options.health = [this] { return Health(); };
   server_options.status_json = [this] { return StatusJson(); };
   server_ = std::make_unique<obs::ExpositionServer>(std::move(server_options));
@@ -48,21 +63,107 @@ obs::HealthReport ServingExposition::Health() const {
       "serving v" + std::to_string(snapshot->version()) + ", breaker ";
   if (scheduler_ == nullptr) {
     report.detail += "absent";
-    return report;
+  } else {
+    const CircuitState breaker = scheduler_->circuit_state();
+    report.detail += CircuitStateName(breaker);
+    // Open means rebuilds are failing repeatedly and the served tree is
+    // going stale with no recovery in progress — page someone. Half-open is
+    // the recovery probe: readers still get the last good snapshot, so the
+    // process stays healthy.
+    if (breaker == CircuitState::kOpen) {
+      report.healthy = false;
+      report.detail += " (" +
+                       std::to_string(scheduler_->consecutive_failures()) +
+                       " consecutive rebuild failures)";
+    }
   }
-  const CircuitState breaker = scheduler_->circuit_state();
-  report.detail += CircuitStateName(breaker);
-  // Open means rebuilds are failing repeatedly and the served tree is going
-  // stale with no recovery in progress — page someone. Half-open is the
-  // recovery probe: readers still get the last good snapshot, so the
-  // process stays healthy.
-  if (breaker == CircuitState::kOpen) {
-    report.healthy = false;
-    report.detail += " (" +
-                     std::to_string(scheduler_->consecutive_failures()) +
-                     " consecutive rebuild failures)";
+  // A mounted /route endpoint with no workers behind it serves only errors:
+  // that is an unhealthy process even while snapshot reads still work.
+  if (router_ != nullptr) {
+    if (router_->running()) {
+      report.detail +=
+          ", router running (queue " +
+          std::to_string(router_->queue_depth()) + "/" +
+          std::to_string(router_->options().max_queue) + ")";
+    } else {
+      report.healthy = false;
+      report.detail += ", router stopped";
+    }
   }
   return report;
+}
+
+std::string ServingExposition::HandleRoute(
+    const obs::HttpRequest& request) const {
+  obs::JsonWriter w;
+  const auto error = [&w](int status, const std::string& message) {
+    w.BeginObject();
+    w.Key("error").String(message);
+    w.EndObject();
+    return obs::MakeHttpResponse(status, "application/json", w.str());
+  };
+  if (router_ == nullptr) return error(503, "no router mounted");
+  const std::string q = obs::HttpQueryParam(request.query, "q");
+  if (q.empty()) {
+    return error(400,
+                 "missing q parameter (e.g. /route?q=nike+shirt, "
+                 "/route?q=brand=nike, /route?q=1:3)");
+  }
+
+  Result<data::Query> parsed =
+      router::ParseQuery(q, router_->engine().catalog());
+  if (!parsed.ok()) return error(400, parsed.status().ToString());
+
+  router::RouteRequest route_request;
+  route_request.query = std::move(parsed).value();
+  const std::string k = obs::HttpQueryParam(request.query, "k");
+  if (!k.empty()) {
+    route_request.top_k = static_cast<size_t>(std::atol(k.c_str()));
+  }
+  const std::string deadline_ms =
+      obs::HttpQueryParam(request.query, "deadline_ms");
+  if (!deadline_ms.empty()) {
+    route_request.deadline_seconds = std::atof(deadline_ms.c_str()) * 1e-3;
+  }
+
+  router::RouteResult result = router_->Route(std::move(route_request));
+  int status = 200;
+  if (result.shed || result.status.code() == StatusCode::kResourceExhausted ||
+      result.status.code() == StatusCode::kFailedPrecondition) {
+    status = 503;  // Shed or not servable — retryable, not a client error.
+  } else if (result.status.code() == StatusCode::kInvalidArgument) {
+    status = 400;
+  } else if (!result.status.ok() && !result.degraded) {
+    status = 500;
+  }
+  // Degraded stays 200: the ranking is valid, just best-so-far.
+
+  w.BeginObject();
+  w.Key("query").String(q);
+  w.Key("status").String(StatusCodeName(result.status.code()));
+  w.Key("version").Uint(result.version);
+  w.Key("result_set_size").Uint(result.result_set_size);
+  w.Key("degraded").Bool(result.degraded);
+  w.Key("shed").Bool(result.shed);
+  w.Key("ranked").BeginArray();
+  for (const router::RoutedCategory& category : result.ranked) {
+    w.BeginObject();
+    w.Key("node").Uint(category.node);
+    w.Key("path").BeginArray();
+    for (const std::string& label : category.path) w.String(label);
+    w.EndArray();
+    w.Key("jaccard").Double(category.jaccard);
+    w.Key("containment").Double(category.containment);
+    w.Key("overlap").Uint(category.overlap);
+    w.Key("depth").Uint(category.depth);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("nodes_visited").Uint(result.score_stats.nodes_visited);
+  w.Key("nodes_pruned").Uint(result.score_stats.nodes_pruned);
+  w.Key("total_seconds").Double(result.total_seconds);
+  w.EndObject();
+  return obs::MakeHttpResponse(status, "application/json", w.str());
 }
 
 std::string ServingExposition::StatusJson() const {
@@ -96,6 +197,24 @@ std::string ServingExposition::StatusJson() const {
     w.Key("seconds").Double(last.seconds);
     w.Key("attempts").Int(last.attempts);
     if (!last.reason.empty()) w.Key("reason").String(last.reason);
+    w.EndObject();
+  }
+  if (router_ != nullptr) {
+    const router::RouterStatsSnapshot rs = router_->stats().Snapshot();
+    w.Key("router").BeginObject();
+    w.Key("running").Bool(router_->running());
+    w.Key("workers").Uint(router_->options().num_workers);
+    w.Key("max_queue").Uint(router_->options().max_queue);
+    w.Key("queue_depth").Int(rs.queue_depth);
+    w.Key("index_version").Int(rs.index_version);
+    w.Key("requests").Uint(rs.requests);
+    w.Key("routed").Uint(rs.routed);
+    w.Key("unrouted").Uint(rs.unrouted);
+    w.Key("shed_queue_full").Uint(rs.shed_queue_full);
+    w.Key("shed_deadline").Uint(rs.shed_deadline);
+    w.Key("degraded").Uint(rs.degraded);
+    w.Key("errors").Uint(rs.errors);
+    w.Key("shed_rate").Double(rs.ShedRate());
     w.EndObject();
   }
   w.EndObject();

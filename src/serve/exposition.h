@@ -36,6 +36,10 @@
 #include "util/status.h"
 
 namespace oct {
+namespace router {
+class Router;
+}  // namespace router
+
 namespace serve {
 
 /// ServeOptions-style knob block: the subset of obs::ExpositionOptions an
@@ -52,9 +56,12 @@ class ServingExposition {
  public:
   /// `store` must be non-null; `scheduler` and `stats` may be null (health
   /// then checks only snapshot availability, and /metrics renders only the
-  /// default registry). All referenced objects must outlive this instance.
+  /// default registry). `router` (nullable) mounts the /route endpoint,
+  /// merges the router.* registry into /metrics, and folds router health
+  /// into /healthz. All referenced objects must outlive this instance.
   ServingExposition(const TreeStore* store, const RebuildScheduler* scheduler,
-                    const ServeStats* stats, ExpositionOptions options = {});
+                    const ServeStats* stats, ExpositionOptions options = {},
+                    router::Router* router = nullptr);
   ~ServingExposition();
 
   ServingExposition(const ServingExposition&) = delete;
@@ -78,9 +85,15 @@ class ServingExposition {
   /// The underlying server (for tests that drive HandleRequest directly).
   obs::ExpositionServer* server() { return server_.get(); }
 
+  /// Full HTTP response of the /route endpoint for an already-parsed
+  /// request. Exposed so tests can drive routing through the HTTP layer
+  /// without sockets.
+  std::string HandleRoute(const obs::HttpRequest& request) const;
+
  private:
   const TreeStore* const store_;
   const RebuildScheduler* const scheduler_;
+  router::Router* const router_;
   ExpositionOptions options_;
   std::unique_ptr<obs::ExpositionServer> server_;
 };

@@ -21,8 +21,13 @@ Exit status: 1 when any series regressed beyond --threshold (default
 --min-ms in the baseline are reported but never gate: micro-timings
 jitter far beyond any sane threshold.
 
+--only restricts the comparison to series whose full "run/series" name
+contains any given substring. CI uses it to hard-gate the stable kernel
+benches while the full cross-run diff stays advisory:
+
   $ tools/bench_diff.py bench/history/baseline.json BENCH_2026-08-06.json
   $ tools/bench_diff.py --threshold 0.30 old.json new.json
+  $ tools/bench_diff.py --only kernel_speedup base.json new.json
 """
 
 import argparse
@@ -97,14 +102,24 @@ def main(argv):
     parser.add_argument("--min-ms", type=float, default=0.05,
                         help="baseline means below this many ms are shown "
                              "but never gate (default %(default)s)")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="SUBSTRING",
+                        help="compare only series whose run/series name "
+                             "contains SUBSTRING (repeatable; any match "
+                             "keeps the series)")
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
 
     base = flatten(load_runs(args.baseline))
     cur = flatten(load_runs(args.current))
+    if args.only:
+        keep = lambda name: any(sub in name for sub in args.only)
+        base = {k: v for k, v in base.items() if keep(k)}
+        cur = {k: v for k, v in cur.items() if keep(k)}
     if not base:
-        print(f"bench_diff: no time series in {args.baseline}",
+        what = " matching --only" if args.only else ""
+        print(f"bench_diff: no time series{what} in {args.baseline}",
               file=sys.stderr)
         return 2
 

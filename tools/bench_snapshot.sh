@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Captures a dated benchmark snapshot: runs micro_benchmarks,
-# kernel_speedup, and serving_throughput with OCT_BENCH_JSON, merges their
+# kernel_speedup, serving_throughput, and router_closed_loop with
+# OCT_BENCH_JSON, merges their
 # structured reports into bench/history/BENCH_<date>.json, and (when
 # bench/history/baseline.json exists) prints a non-blocking drift report
 # against it via tools/bench_diff.py. The history directory accumulates one
@@ -22,7 +23,8 @@ OUT="$HISTORY_DIR/BENCH_$(date +%Y-%m-%d).json"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
-for bench in micro_benchmarks kernel_speedup serving_throughput; do
+for bench in micro_benchmarks kernel_speedup serving_throughput \
+             router_closed_loop; do
   bin="$BUILD_DIR/bench/$bench"
   if [ ! -x "$bin" ]; then
     echo "missing $bin -- build benchmarks first:" >&2

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the exposition endpoint: launches the
 # online_store example with OCT_EXPOSE_PORT, waits for the port, scrapes
-# /metrics, /healthz, and /statusz with curl, and validates the /metrics
-# payload with tools/check_prom_text.py (format + presence of the serve.*,
-# ctcr.*, and kernel.* families). Run by the CI exposition-smoke job;
-# works identically on a laptop:
+# /metrics, /healthz, /statusz, and /route with curl, and validates the
+# /metrics payload with tools/check_prom_text.py (format + presence of the
+# serve.*, ctcr.*, kernel.*, and router.* families). Run by the CI
+# exposition-smoke job; works identically on a laptop:
 #
 #   $ tools/expose_smoke.sh             # build dir: build, port 9187
 #   $ tools/expose_smoke.sh my-build 9999
@@ -55,11 +55,30 @@ python3 -c 'import json,sys; doc=json.loads(sys.argv[1]); \
   assert doc["app"]["snapshot_version"] >= 1, "no snapshot published"; \
   assert doc["endpoints"], "no endpoints listed"' "$STATUS"
 
+echo "== /route =="
+# A live routed query: attribute 0 value 0 always exists in the generated
+# catalog, so the router must answer 200 with a ranked array (possibly
+# empty) and the served snapshot version.
+ROUTE="$(curl -sf "$BASE/route?q=0%3A0&k=3")"
+echo "$ROUTE" | head -c 400; echo
+python3 -c 'import json,sys; doc=json.loads(sys.argv[1]); \
+  assert "ranked" in doc, "no ranked array"; \
+  assert doc["version"] >= 1, "routed against no snapshot"' "$ROUTE"
+# Missing and malformed q must be client errors, never 5xx or a hang.
+for bad in "/route" "/route?q=zzzznope"; do
+  CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE$bad")"
+  if [ "$CODE" != "400" ]; then
+    echo "expected 400 for $bad, got $CODE" >&2
+    exit 1
+  fi
+done
+echo "(missing/malformed q -> 400)"
+
 echo "== /metrics =="
 curl -sf "$BASE/metrics" > "$TMP_DIR/metrics.txt"
 head -n 6 "$TMP_DIR/metrics.txt"
 echo "..."
 python3 "$REPO_ROOT/tools/check_prom_text.py" "$TMP_DIR/metrics.txt" \
-  --require serve_ --require ctcr_ --require kernel_
+  --require serve_ --require ctcr_ --require kernel_ --require router_
 
 echo "exposition smoke: OK"

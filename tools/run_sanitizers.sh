@@ -8,8 +8,9 @@
 #   $ tools/run_sanitizers.sh tsan my-dir     # custom build dir
 #   $ OCT_SANITIZE=asan tools/run_sanitizers.sh   # env var instead of arg
 #
-# tsan additionally runs the serve stress tests first — they are the
-# densest source of cross-thread interleavings in the repo.
+# tsan additionally runs the serve stress tests and the router suite
+# first — they are the densest sources of cross-thread interleavings in
+# the repo (snapshot publish vs. readers; batch workers vs. publishers).
 #
 # Benchmarks and examples are skipped: they add nothing to sanitizer
 # coverage and google-benchmark is not instrumented.
@@ -50,6 +51,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 if [ "$MODE" = "tsan" ]; then
   echo "== serve stress tests under TSan =="
   "$BUILD_DIR/tests/test_serve_stress"
+  echo "== router suite under TSan =="
+  "$BUILD_DIR/tests/test_router"
 fi
 
 echo "== full tier-1 suite under $MODE =="
