@@ -1,0 +1,317 @@
+// Incremental (oct::delta) vs full-batch rebuild under live tail churn.
+//
+// The workload models the e-commerce reality the delta path is built for:
+// the head of the query log — one large intersection-connected component —
+// is stable, while the tail churns (new long-tail queries arrive, often
+// about newly listed products; recent tail queries get re-weighted or
+// re-phrased). Each sweep point applies a churn batch sized as a fraction
+// of the seeded candidate sets, then times a plain batch rebuild of the
+// same cumulative input for comparison.
+//
+// Hard gates (exit 1):
+//   - every spliced tree must pass DeltaBuilder::VerifyEquivalence: exact
+//     canonical agreement with a fresh sharded rebuild, score within
+//     epsilon of the plain batch tree;
+//   - deltas of at most 5% of the categories must apply >= 5x faster than
+//     the full rebuild (skipped, with a notice, when the scaled-down full
+//     build is too fast for the ratio to mean anything);
+//   - a delta touching the head component must trip the drift-bound
+//     fallback (fallback_full) and still verify.
+//
+// Timings feed bench.delta_apply_us / bench.full_rebuild_us histograms so
+// bench_snapshot.sh snapshots them and tools/bench_diff.py can gate drift.
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ctcr/ctcr.h"
+#include "data/datasets.h"
+#include "delta/delta_builder.h"
+#include "delta/delta_log.h"
+#include "obs/metrics.h"
+#include "util/table_writer.h"
+#include "util/timer.h"
+
+namespace oct {
+namespace {
+
+constexpr double kEpsilon = 0.05;
+constexpr double kMinSpeedup = 5.0;
+constexpr double kMaxGatedFraction = 0.05;
+/// Below this full-rebuild time the speedup ratio is all fixed overhead
+/// and jitter; the equivalence gates still run, the ratio gate does not.
+constexpr double kMinMeaningfulFullMs = 2.0;
+
+uint64_t KeyFor(const std::string& label) {
+  return delta::DeltaLog::KeyForLabel(label);
+}
+
+/// Generates tail-churn batches: brand-new tail queries over fresh item
+/// blocks (new products), chained into occasional 2-3 set components, plus
+/// re-upserts of tail queries from earlier batches.
+class TailChurn {
+ public:
+  TailChurn(size_t universe_size, uint64_t seed)
+      : next_item_(static_cast<ItemId>(universe_size)), rng_(seed) {}
+
+  delta::DeltaBatch NextBatch(size_t ops) {
+    delta::DeltaBatch batch;
+    batch.first_seq = next_seq_;
+    for (size_t i = 0; i < ops; ++i) {
+      delta::DeltaOp op;
+      op.kind = delta::DeltaOp::Kind::kUpsertQuery;
+      const bool reupsert = !tail_labels_.empty() && rng_() % 10 < 4;
+      if (reupsert) {
+        // Re-weight and extend an existing tail query (trend shift).
+        const std::string& label =
+            tail_labels_[rng_() % tail_labels_.size()];
+        CandidateSet set = tail_sets_[label];
+        set.weight += 0.1 + 0.01 * static_cast<double>(rng_() % 10);
+        std::vector<ItemId> items(set.items.begin(), set.items.end());
+        items.push_back(FreshItem());
+        set.items = ItemSet(std::move(items));
+        tail_sets_[label] = set;
+        op.key = KeyFor(label);
+        op.set = std::move(set);
+      } else {
+        const std::string label = "tail#" + std::to_string(next_label_++);
+        std::vector<ItemId> items;
+        const size_t size = 6 + rng_() % 8;
+        // Every third new query shares its block's first items with the
+        // previous one, forming small multi-set tail components.
+        if (next_label_ % 3 == 0 && !last_block_.empty()) {
+          items.assign(last_block_.begin(),
+                       last_block_.begin() +
+                           std::min<size_t>(3, last_block_.size()));
+        }
+        while (items.size() < size) items.push_back(FreshItem());
+        last_block_ = items;
+        CandidateSet set;
+        set.items = ItemSet(std::move(items));
+        set.weight = 1.0 + 0.01 * static_cast<double>(rng_() % 50);
+        set.label = label;
+        tail_labels_.push_back(label);
+        tail_sets_[label] = set;
+        op.key = KeyFor(label);
+        op.set = std::move(set);
+      }
+      op.seq = next_seq_++;
+      batch.ops.push_back(std::move(op));
+    }
+    batch.last_seq = next_seq_ - 1;
+    return batch;
+  }
+
+  uint64_t NextSeq() { return next_seq_++; }
+
+ private:
+  ItemId FreshItem() { return next_item_++; }
+
+  ItemId next_item_;
+  std::mt19937_64 rng_;
+  uint64_t next_seq_ = 1;
+  size_t next_label_ = 0;
+  std::vector<ItemId> last_block_;
+  std::vector<std::string> tail_labels_;
+  std::unordered_map<std::string, CandidateSet> tail_sets_;
+};
+
+double FullRebuildMs(const OctInput& cumulative, const Similarity& sim) {
+  // Best of two: the first run warms the allocator and index caches.
+  double best = 1e300;
+  for (int rep = 0; rep < 2; ++rep) {
+    Timer timer;
+    ctcr::CtcrResult r = ctcr::BuildCategoryTree(cumulative, sim, {});
+    best = std::min(best, timer.ElapsedSeconds() * 1e3);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "FAIL: full rebuild: %s\n",
+                   r.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int Run() {
+  const Similarity sim(Variant::kJaccardThreshold, 0.8);
+  data::Dataset ds = data::MakeDataset('B', sim);
+  bench::PrintHeader("delta rebuild (incremental vs full-batch)", ds);
+
+  obs::Histogram* delta_us =
+      obs::MetricsRegistry::Default()->GetHistogram("bench.delta_apply_us");
+  obs::Histogram* full_us =
+      obs::MetricsRegistry::Default()->GetHistogram("bench.full_rebuild_us");
+
+  delta::DeltaBuilderOptions opt;
+  opt.universe_floor = ds.input.universe_size();
+  delta::DeltaBuilder builder(sim, opt);
+  TailChurn churn(ds.input.universe_size(), /*seed=*/20260808);
+
+  // Seed: the full query log arrives as one batch (the head component and
+  // the initial tail), exactly what RebuildScheduler feeds the delta path.
+  {
+    delta::DeltaBatch seed;
+    seed.first_seq = churn.NextSeq();
+    uint64_t seq = seed.first_seq;
+    size_t index = 0;
+    for (const CandidateSet& set : ds.input.sets()) {
+      delta::DeltaOp op;
+      op.kind = delta::DeltaOp::Kind::kUpsertQuery;
+      op.key = KeyFor("seed#" + std::to_string(index++));
+      op.set = set;
+      op.seq = seq;
+      seed.ops.push_back(std::move(op));
+      seq = churn.NextSeq();
+    }
+    seed.last_seq = seq - 1;
+    Timer timer;
+    const Result<delta::DeltaApplyOutcome> outcome =
+        builder.ApplyBatch(seed);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "FAIL: seed batch: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("seeded %zu sets in %.1f ms (%zu components)\n",
+                ds.input.num_sets(), timer.ElapsedSeconds() * 1e3,
+                outcome.value().total_components);
+  }
+
+  const size_t num_seeded = ds.input.num_sets();
+  const std::vector<double> fractions = {0.005, 0.01, 0.02, 0.05, 0.10};
+  TableWriter table({"delta_frac", "ops", "dirty_comps", "total_comps",
+                     "sets_rebuilt", "delta_ms", "full_ms", "speedup",
+                     "fallback"});
+  std::vector<std::string> failures;
+
+  for (double fraction : fractions) {
+    const size_t ops = std::max<size_t>(
+        1, static_cast<size_t>(fraction * static_cast<double>(num_seeded) +
+                               0.5));
+    delta::DeltaBatch batch = churn.NextBatch(ops);
+
+    Timer timer;
+    const Result<delta::DeltaApplyOutcome> outcome =
+        builder.ApplyBatch(batch);
+    const double delta_ms = timer.ElapsedSeconds() * 1e3;
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "FAIL: delta batch (%.1f%%): %s\n",
+                   fraction * 100.0, outcome.status().ToString().c_str());
+      return 1;
+    }
+    const delta::DeltaApplyOutcome& o = outcome.value();
+
+    const OctInput cumulative = builder.working_set().Materialize();
+    const double full_ms = FullRebuildMs(cumulative, sim);
+    delta_us->Record(delta_ms * 1e3);
+    full_us->Record(full_ms * 1e3);
+
+    const Status verified = builder.VerifyEquivalence(o.tree, kEpsilon);
+    if (!verified.ok()) {
+      std::fprintf(stderr, "FAIL: equivalence at %.1f%%: %s\n",
+                   fraction * 100.0, verified.ToString().c_str());
+      return 1;
+    }
+
+    const double speedup = delta_ms > 0.0 ? full_ms / delta_ms : 0.0;
+    table.AddRow({TableWriter::Num(fraction * 100.0, 1) + "%",
+                  std::to_string(ops), std::to_string(o.dirty_components),
+                  std::to_string(o.total_components),
+                  std::to_string(o.sets_rebuilt),
+                  TableWriter::Num(delta_ms, 2), TableWriter::Num(full_ms, 2),
+                  TableWriter::Num(speedup, 1) + "x",
+                  o.fallback_full ? "yes" : "no"});
+
+    if (fraction <= kMaxGatedFraction) {
+      if (full_ms < kMinMeaningfulFullMs) {
+        std::printf(
+            "note: full rebuild %.2f ms < %.1f ms at this scale; speedup "
+            "gate skipped for the %.1f%% point\n",
+            full_ms, kMinMeaningfulFullMs, fraction * 100.0);
+      } else if (speedup < kMinSpeedup) {
+        failures.push_back("delta of " +
+                           TableWriter::Num(fraction * 100.0, 1) +
+                           "% applied only " + TableWriter::Num(speedup, 1) +
+                           "x faster than full (floor " +
+                           TableWriter::Num(kMinSpeedup, 0) + "x)");
+      }
+    }
+  }
+
+  // Drift-bound fallback: touching the head component dirties ~all sets,
+  // which must trip fallback_full rather than pretend to be incremental.
+  {
+    uint32_t head_slot = delta::kInvalidSlot;
+    const auto components = builder.working_set().ComputeComponents();
+    size_t biggest = 0;
+    for (const auto& members : components.members) {
+      if (members.size() > biggest) {
+        biggest = members.size();
+        head_slot = members[0];
+      }
+    }
+    CandidateSet head = builder.working_set().set(head_slot);
+    head.weight += 0.5;
+    delta::DeltaBatch batch;
+    delta::DeltaOp op;
+    op.kind = delta::DeltaOp::Kind::kUpsertQuery;
+    op.key = builder.working_set().key(head_slot);
+    op.set = std::move(head);
+    op.seq = churn.NextSeq();
+    batch.first_seq = batch.last_seq = op.seq;
+    batch.ops.push_back(std::move(op));
+
+    Timer timer;
+    const Result<delta::DeltaApplyOutcome> outcome =
+        builder.ApplyBatch(batch);
+    const double delta_ms = timer.ElapsedSeconds() * 1e3;
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "FAIL: head-component batch: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    const delta::DeltaApplyOutcome& o = outcome.value();
+    if (biggest > num_seeded / 2 && !o.fallback_full) {
+      failures.push_back(
+          "head-component touch dirtied " + std::to_string(o.sets_rebuilt) +
+          "/" + std::to_string(o.sets_total) +
+          " sets without tripping the drift-bound fallback");
+    }
+    const Status verified = builder.VerifyEquivalence(o.tree, kEpsilon);
+    if (!verified.ok()) {
+      std::fprintf(stderr, "FAIL: equivalence after fallback: %s\n",
+                   verified.ToString().c_str());
+      return 1;
+    }
+    table.AddRow({"head", "1", std::to_string(o.dirty_components),
+                  std::to_string(o.total_components),
+                  std::to_string(o.sets_rebuilt),
+                  TableWriter::Num(delta_ms, 2), "-", "-",
+                  o.fallback_full ? "yes" : "no"});
+  }
+
+  std::printf("\n%s\n", table.ToAligned().c_str());
+  bench::BenchReport::Get().AddTable("delta_rebuild", table);
+
+  if (!failures.empty()) {
+    for (const std::string& failure : failures) {
+      std::fprintf(stderr, "FAIL: %s\n", failure.c_str());
+    }
+    return 1;
+  }
+  std::printf(
+      "all gates passed: equivalence at every point, >=%.0fx for deltas "
+      "<=%.0f%%, drift-bound fallback on head-component touches\n",
+      kMinSpeedup, kMaxGatedFraction * 100.0);
+  return 0;
+}
+
+}  // namespace oct
+
+int main() { return oct::Run(); }

@@ -113,11 +113,13 @@ CctResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
 
   // Lines 5-6: condense — a refinement pass, shed first when the build
   // budget runs out. Line 7: misc category — always runs (model validity).
+  const NodeId exclude_cover =
+      options.root_cover_candidate ? kInvalidNode : result.tree.root();
   if (options.condense && !fault::Cancelled(options.cancel)) {
-    CondenseTree(input, sim, &result.tree);
+    CondenseTree(input, sim, &result.tree, /*protect=*/{}, exclude_cover);
   }
-  AddMiscCategory(input, &result.tree);
-  AnnotateCoveredSets(input, sim, &result.tree);
+  if (options.add_misc_category) AddMiscCategory(input, &result.tree);
+  AnnotateCoveredSets(input, sim, &result.tree, exclude_cover);
   result.seconds_assign = timer.ElapsedSeconds();
   assign_us->Record(result.seconds_assign * 1e6);
   if (result.status.ok() && fault::Cancelled(options.cancel)) {

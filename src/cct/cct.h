@@ -29,6 +29,13 @@ struct CctOptions {
   Linkage linkage = Linkage::kAverage;
   /// Disable to skip condensing — ablation knob.
   bool condense = true;
+  /// Disable to bar the root from best-cover candidacy; see
+  /// ctcr::CtcrOptions::root_cover_candidate.
+  bool root_cover_candidate = true;
+  /// Disable to skip the misc category (line 7). Per-component builders
+  /// (oct::delta) add the universe-wide misc category exactly once on the
+  /// spliced tree instead; see ctcr::CtcrOptions::add_misc_category.
+  bool add_misc_category = true;
   /// Thread pool for the distance-matrix build (null: process default).
   ThreadPool* pool = nullptr;
   /// Prebuilt kernel::ItemSetIndex over the input (not owned; may be null,

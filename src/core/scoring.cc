@@ -32,7 +32,8 @@ SetCover ScoreOneSet(const OctInput& input, const CategoryTree& tree,
                      const Similarity& sim,
                      const std::vector<std::vector<NodeId>>& direct_index,
                      const std::vector<size_t>& sizes,
-                     kernel::DenseCounter* inter, SetId q) {
+                     kernel::DenseCounter* inter, SetId q,
+                     NodeId exclude_cover) {
   const CandidateSet& cs = input.set(q);
   // Intersection size of q with every category that shares an item with it:
   // bump the direct node and all its ancestors once per shared item. The
@@ -52,6 +53,7 @@ SetCover ScoreOneSet(const OctInput& input, const CategoryTree& tree,
   double best_precision = -1.0;
   size_t best_depth = 0;
   for (const NodeId node : inter->touched()) {
+    if (node == exclude_cover) continue;
     const size_t count = inter->count(node);
     const double raw = sim.RawFromSizes(cs.items.size(), sizes[node], count);
     const double score = sim.ScoreFromSizes(cs.items.size(), sizes[node],
@@ -88,7 +90,8 @@ SetCover ScoreOneSet(const OctInput& input, const CategoryTree& tree,
 }  // namespace
 
 TreeScore ScoreTree(const OctInput& input, const CategoryTree& tree,
-                    const Similarity& sim, ThreadPool* pool) {
+                    const Similarity& sim, ThreadPool* pool,
+                    NodeId exclude_cover) {
   TreeScore result;
   result.per_set.resize(input.num_sets());
   const auto direct_index = BuildDirectIndex(tree, input.universe_size());
@@ -98,7 +101,8 @@ TreeScore ScoreTree(const OctInput& input, const CategoryTree& tree,
     kernel::DenseCounter inter(tree.num_nodes());
     for (size_t q = begin; q < end; ++q) {
       result.per_set[q] = ScoreOneSet(input, tree, sim, direct_index, sizes,
-                                      &inter, static_cast<SetId>(q));
+                                      &inter, static_cast<SetId>(q),
+                                      exclude_cover);
     }
   };
   if (pool == nullptr && input.num_sets() >= 256) {
@@ -124,11 +128,12 @@ TreeScore ScoreTree(const OctInput& input, const CategoryTree& tree,
 }
 
 void AnnotateCoveredSets(const OctInput& input, const Similarity& sim,
-                         CategoryTree* tree) {
+                         CategoryTree* tree, NodeId exclude_cover) {
   for (NodeId id = 0; id < tree->num_nodes(); ++id) {
     tree->mutable_node(id).covered_sets.clear();
   }
-  const TreeScore score = ScoreTree(input, *tree, sim);
+  const TreeScore score =
+      ScoreTree(input, *tree, sim, nullptr, exclude_cover);
   for (SetId q = 0; q < input.num_sets(); ++q) {
     const SetCover& c = score.per_set[q];
     if (c.covered && c.best_node != kInvalidNode) {

@@ -41,15 +41,22 @@ struct TreeScore {
 
 /// Scores `tree` over every set of `input` under `sim`. Per-set threshold
 /// overrides are honored. When `pool` is null, DefaultThreadPool() is used
-/// for inputs large enough to benefit.
+/// for inputs large enough to benefit. When `exclude_cover` names a node,
+/// that node is not eligible as any set's best cover — per-component
+/// builders (oct::delta) exclude the component-local root, whose item set
+/// is the undiluted component union and would otherwise steal best-cover
+/// designations the diluted global root never wins.
 TreeScore ScoreTree(const OctInput& input, const CategoryTree& tree,
-                    const Similarity& sim, ThreadPool* pool = nullptr);
+                    const Similarity& sim, ThreadPool* pool = nullptr,
+                    NodeId exclude_cover = kInvalidNode);
 
 /// Fills each category's `covered_sets` (clearing stale values) with the
 /// sets for which it is the best cover. Ties on score are broken toward
-/// higher precision, as in the paper's condensing step.
+/// higher precision, as in the paper's condensing step. `exclude_cover`
+/// is forwarded to ScoreTree.
 void AnnotateCoveredSets(const OctInput& input, const Similarity& sim,
-                         CategoryTree* tree);
+                         CategoryTree* tree,
+                         NodeId exclude_cover = kInvalidNode);
 
 }  // namespace oct
 

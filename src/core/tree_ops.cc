@@ -90,10 +90,11 @@ size_t AddIntermediateCategories(const OctInput& input, CategoryTree* tree) {
 
 CondenseStats CondenseTree(const OctInput& input, const Similarity& sim,
                            CategoryTree* tree,
-                           const std::vector<NodeId>& protect) {
+                           const std::vector<NodeId>& protect,
+                           NodeId exclude_cover) {
   CondenseStats stats;
   // Determine coverage and designated best covers.
-  AnnotateCoveredSets(input, sim, tree);
+  AnnotateCoveredSets(input, sim, tree, exclude_cover);
   std::vector<char> set_covered(input.num_sets(), 0);
   for (NodeId id = 0; id < tree->num_nodes(); ++id) {
     if (!tree->IsAlive(id)) continue;
@@ -132,7 +133,7 @@ CondenseStats CondenseTree(const OctInput& input, const Similarity& sim,
       }
     }
     // Item removal can change precisions, hence coverage; re-annotate.
-    AnnotateCoveredSets(input, sim, tree);
+    AnnotateCoveredSets(input, sim, tree, exclude_cover);
   }
 
   // Line 25: remove categories that are the best cover of no set. Children

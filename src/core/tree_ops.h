@@ -40,10 +40,15 @@ struct CondenseStats {
 /// re-attaches children and merges direct items into the parent, so full
 /// item sets of surviving ancestors are unchanged and the score may only
 /// improve. `protect` lists node ids that must survive even when they cover
-/// nothing (e.g. none — reserved for taxonomist pins).
+/// nothing (e.g. none — reserved for taxonomist pins). `exclude_cover`
+/// removes one node from best-cover candidacy (see ScoreTree) — used by
+/// per-component builders to keep the component-local root, whose item set
+/// is the undiluted component union, from stealing covers and condensing
+/// away the component's own top categories.
 CondenseStats CondenseTree(const OctInput& input, const Similarity& sim,
                            CategoryTree* tree,
-                           const std::vector<NodeId>& protect = {});
+                           const std::vector<NodeId>& protect = {},
+                           NodeId exclude_cover = kInvalidNode);
 
 /// Adds a child of the root containing all universe items with no placement
 /// anywhere in the tree. Returns the new node id, or kInvalidNode when no

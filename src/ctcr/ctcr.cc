@@ -256,14 +256,17 @@ CtcrResult BuildCategoryTree(const OctInput& input, const Similarity& sim,
   }
 
   // Lines 24-25: condense (thresholds below 1 only).
+  const NodeId exclude_cover =
+      options.root_cover_candidate ? kInvalidNode : tree.root();
   if (!out_of_budget && options.condense && general) {
-    CondenseTree(input, sim, &tree);
+    CondenseTree(input, sim, &tree, /*protect=*/{}, exclude_cover);
   }
 
-  // Line 26: misc category with every unassigned item. Always runs — the
-  // model requires every item to appear somewhere.
-  AddMiscCategory(input, &tree);
-  AnnotateCoveredSets(input, sim, &tree);
+  // Line 26: misc category with every unassigned item. Runs unless the
+  // caller is building a per-component subtree (oct::delta) and will add
+  // the universe-wide misc category once on the spliced tree instead.
+  if (options.add_misc_category) AddMiscCategory(input, &tree);
+  AnnotateCoveredSets(input, sim, &tree, exclude_cover);
   result.seconds_build = timer.ElapsedSeconds();
   build_us->Record(result.seconds_build * 1e6);
   if (result.status.ok() && fault::Cancelled(options.cancel)) {

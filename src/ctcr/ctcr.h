@@ -39,6 +39,18 @@ struct CtcrOptions {
   bool add_intermediate_categories = true;
   /// Disable to skip lines 24-25 (condensing) — ablation knob.
   bool condense = true;
+  /// Disable to bar the root from best-cover candidacy during condensing
+  /// and coverage annotation. Per-component builders (oct::delta) disable
+  /// it: the component-local root's item set is the undiluted component
+  /// union, so it would steal best-cover designations that the diluted
+  /// global root never wins, condensing away real top-level categories.
+  bool root_cover_candidate = true;
+  /// Disable to skip line 26 (the misc category). The misc category is
+  /// universe-wide — it collects every item assigned nowhere — so callers
+  /// that build per-component subtrees (oct::delta) must add it exactly
+  /// once on the spliced tree, not once per component. ValidateModel only
+  /// bounds placements from above, so the tree stays model-valid without it.
+  bool add_misc_category = true;
   /// Deadline/cancellation (not owned; may be null). CTCR degrades as an
   /// anytime algorithm: conflict analysis always completes (the tree is
   /// invalid without it), the MIS stage keeps its best valid IS so far, and

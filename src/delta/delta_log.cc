@@ -1,0 +1,123 @@
+#include "delta/delta_log.h"
+
+#include <utility>
+
+namespace oct {
+namespace delta {
+
+const char* DeltaOpKindName(DeltaOp::Kind kind) {
+  switch (kind) {
+    case DeltaOp::Kind::kUpsertQuery:
+      return "upsert_query";
+    case DeltaOp::Kind::kRemoveQuery:
+      return "remove_query";
+    case DeltaOp::Kind::kRemoveItem:
+      return "remove_item";
+  }
+  return "unknown";
+}
+
+uint64_t DeltaLog::Append(DeltaOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op.seq = next_seq_++;
+  const uint64_t seq = op.seq;
+
+  // Coalesce: drop the superseded pending op, append the new one at the
+  // tail. Tail placement is what keeps this equivalent to applying both
+  // ops in order — an upsert overwrites the whole set, so any RemoveItem
+  // between the two pending positions still acts on the state the in-order
+  // application would have given it.
+  if (op.kind == DeltaOp::Kind::kRemoveItem) {
+    auto it = by_item_.find(op.item);
+    if (it != by_item_.end()) {
+      queue_.erase(it->second);
+      by_item_.erase(it);
+      ++coalesced_;
+    }
+    queue_.push_back(std::move(op));
+    by_item_[queue_.back().item] = std::prev(queue_.end());
+  } else {
+    auto it = by_key_.find(op.key);
+    if (it != by_key_.end()) {
+      queue_.erase(it->second);
+      by_key_.erase(it);
+      ++coalesced_;
+    }
+    queue_.push_back(std::move(op));
+    by_key_[queue_.back().key] = std::prev(queue_.end());
+  }
+  return seq;
+}
+
+uint64_t DeltaLog::UpsertQuery(uint64_t key, CandidateSet set) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kUpsertQuery;
+  op.key = key;
+  op.set = std::move(set);
+  return Append(std::move(op));
+}
+
+uint64_t DeltaLog::RemoveQuery(uint64_t key) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRemoveQuery;
+  op.key = key;
+  return Append(std::move(op));
+}
+
+uint64_t DeltaLog::RemoveItem(ItemId item) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRemoveItem;
+  op.item = item;
+  return Append(std::move(op));
+}
+
+DeltaBatch DeltaLog::DrainBatch(size_t max_ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DeltaBatch batch;
+  const size_t take =
+      max_ops == 0 ? queue_.size() : std::min(max_ops, queue_.size());
+  batch.ops.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    DeltaOp op = std::move(queue_.front());
+    queue_.pop_front();
+    if (op.kind == DeltaOp::Kind::kRemoveItem) {
+      by_item_.erase(op.item);
+    } else {
+      by_key_.erase(op.key);
+    }
+    batch.ops.push_back(std::move(op));
+  }
+  if (!batch.ops.empty()) {
+    batch.first_seq = batch.ops.front().seq;
+    batch.last_seq = batch.ops.back().seq;
+  }
+  return batch;
+}
+
+size_t DeltaLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t DeltaLog::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t DeltaLog::coalesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_;
+}
+
+uint64_t DeltaLog::KeyForLabel(const std::string& label) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis.
+  for (unsigned char c : label) {
+    hash ^= c;
+    hash *= 1099511628211ull;  // FNV prime.
+  }
+  // Reserve 0 as "no key" so default-constructed ops are visibly invalid.
+  return hash == 0 ? 1 : hash;
+}
+
+}  // namespace delta
+}  // namespace oct

@@ -1,0 +1,107 @@
+// DeltaLog: the ingestion point of oct::delta — an ordered, coalescing
+// queue of query-log and catalog deltas.
+//
+// Producers append three kinds of ops:
+//   - UpsertQuery: a new or changed candidate set (new query past the
+//     frequency filter, or an existing query whose result set / weight
+//     changed after a catalog update);
+//   - RemoveQuery: a query dropped from the log (fell below the filter,
+//     merged away, delisted intent);
+//   - RemoveItem: catalog churn — an item delisted from the store, to be
+//     scrubbed from every candidate set that contains it.
+//
+// Ops get monotone sequence numbers and coalesce per key while queued:
+// a newer upsert/remove for the same query replaces the older pending op
+// *at the tail* (so it cannot jump over an interleaved RemoveItem — later
+// upserts overwrite the whole set, which makes tail placement equivalent
+// to applying both in order), and duplicate RemoveItem ops deduplicate.
+// DrainBatch hands the consumer a deterministic, seq-ordered batch.
+//
+// Thread-safe: traffic threads append while the maintainer drains.
+
+#ifndef OCT_DELTA_DELTA_LOG_H_
+#define OCT_DELTA_DELTA_LOG_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/input.h"
+#include "core/item_set.h"
+
+namespace oct {
+namespace delta {
+
+struct DeltaOp {
+  enum class Kind { kUpsertQuery, kRemoveQuery, kRemoveItem };
+  Kind kind = Kind::kUpsertQuery;
+  /// Stable query identity (kUpsertQuery / kRemoveQuery). Producers that
+  /// only have query text use DeltaLog::KeyForLabel.
+  uint64_t key = 0;
+  /// Payload of kUpsertQuery: items, weight, threshold override, label.
+  CandidateSet set;
+  /// Payload of kRemoveItem.
+  ItemId item = 0;
+  /// Assigned by the log; monotone across the log's lifetime.
+  uint64_t seq = 0;
+};
+
+const char* DeltaOpKindName(DeltaOp::Kind kind);
+
+/// One drained batch: ops in ascending seq order.
+struct DeltaBatch {
+  std::vector<DeltaOp> ops;
+  uint64_t first_seq = 0;
+  uint64_t last_seq = 0;
+
+  bool empty() const { return ops.empty(); }
+  size_t size() const { return ops.size(); }
+};
+
+class DeltaLog {
+ public:
+  DeltaLog() = default;
+  DeltaLog(const DeltaLog&) = delete;
+  DeltaLog& operator=(const DeltaLog&) = delete;
+
+  /// Appends one op (coalescing against pending ops); returns its seq.
+  uint64_t Append(DeltaOp op);
+
+  /// Convenience producers.
+  uint64_t UpsertQuery(uint64_t key, CandidateSet set);
+  uint64_t RemoveQuery(uint64_t key);
+  uint64_t RemoveItem(ItemId item);
+
+  /// Moves up to `max_ops` pending ops (0 = all) out of the log, in seq
+  /// order. Deterministic: the same append sequence yields the same
+  /// batches regardless of timing.
+  DeltaBatch DrainBatch(size_t max_ops = 0);
+
+  size_t pending() const;
+  /// Sequence number the next append will get (starts at 1).
+  uint64_t next_seq() const;
+  /// Pending ops superseded by a newer op for the same key/item.
+  uint64_t coalesced() const;
+
+  /// Stable 64-bit key for producers that identify queries by label
+  /// (FNV-1a over the bytes).
+  static uint64_t KeyForLabel(const std::string& label);
+
+ private:
+  mutable std::mutex mu_;
+  std::list<DeltaOp> queue_;
+  /// Pending upsert/remove per query key (iterator into queue_).
+  std::unordered_map<uint64_t, std::list<DeltaOp>::iterator> by_key_;
+  /// Pending RemoveItem per item (iterator into queue_).
+  std::unordered_map<ItemId, std::list<DeltaOp>::iterator> by_item_;
+  uint64_t next_seq_ = 1;
+  uint64_t coalesced_ = 0;
+};
+
+}  // namespace delta
+}  // namespace oct
+
+#endif  // OCT_DELTA_DELTA_LOG_H_

@@ -1,0 +1,101 @@
+#include "delta/delta_stats.h"
+
+#include <cstdio>
+
+namespace oct {
+namespace delta {
+
+std::string DeltaStatsSnapshot::ToString() const {
+  char buf[360];
+  std::snprintf(
+      buf, sizeof(buf),
+      "batches=%llu ops=%llu (noop=%llu) components=%lld "
+      "rebuilt=%llu reused=%llu (reuse=%.3f) sets_rebuilt=%llu "
+      "fallbacks=%llu splices=%llu equivalence=%llu/%llu "
+      "working_sets=%lld last_dirty=%lld",
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(ops_applied),
+      static_cast<unsigned long long>(ops_noop),
+      static_cast<long long>(components_total),
+      static_cast<unsigned long long>(components_rebuilt),
+      static_cast<unsigned long long>(components_reused), ReuseRate(),
+      static_cast<unsigned long long>(sets_rebuilt),
+      static_cast<unsigned long long>(fallbacks_full),
+      static_cast<unsigned long long>(splices),
+      static_cast<unsigned long long>(equivalence_checks -
+                                      equivalence_failures),
+      static_cast<unsigned long long>(equivalence_checks),
+      static_cast<long long>(working_sets),
+      static_cast<long long>(last_dirty_components));
+  return buf;
+}
+
+DeltaStats::DeltaStats()
+    : batches_(registry_.GetCounter(
+          "delta.batches", "Delta batches applied to the working set")),
+      ops_applied_(registry_.GetCounter(
+          "delta.ops_applied", "Ops that changed the working set")),
+      ops_noop_(registry_.GetCounter(
+          "delta.ops_noop",
+          "Ops with no effect (identical upsert, unknown remove)")),
+      components_rebuilt_(registry_.GetCounter(
+          "delta.components_rebuilt",
+          "Intersection-graph components re-resolved because a batch "
+          "touched them")),
+      components_reused_(registry_.GetCounter(
+          "delta.components_reused",
+          "Clean components spliced from the component cache")),
+      sets_rebuilt_(registry_.GetCounter(
+          "delta.sets_rebuilt",
+          "Candidate sets inside rebuilt components")),
+      fallbacks_full_(registry_.GetCounter(
+          "delta.fallbacks_full",
+          "Batches past the drift bound that fell back to a full rebuild")),
+      splices_(registry_.GetCounter(
+          "delta.splices", "Spliced cumulative trees produced")),
+      equivalence_checks_(registry_.GetCounter(
+          "delta.equivalence_checks", "Equivalence-harness runs")),
+      equivalence_failures_(registry_.GetCounter(
+          "delta.equivalence_failures",
+          "Equivalence-harness divergences beyond epsilon")),
+      working_sets_(registry_.GetGauge(
+          "delta.working_sets", "Alive candidate sets in the working set")),
+      components_total_(registry_.GetGauge(
+          "delta.components_total",
+          "Intersection-graph components over the working set")),
+      last_dirty_components_(registry_.GetGauge(
+          "delta.last_dirty_components",
+          "Dirty components in the most recent batch")),
+      impact_us_(registry_.GetHistogram(
+          "delta.impact_us",
+          "Impact analysis (components + dirty frontier)", "us")),
+      component_build_us_(registry_.GetHistogram(
+          "delta.component_build_us",
+          "Per-component local re-resolution (conflicts + MIS + build)",
+          "us")),
+      splice_us_(registry_.GetHistogram(
+          "delta.splice_us",
+          "Splice: graft components + universe-wide misc category", "us")),
+      apply_us_(registry_.GetHistogram(
+          "delta.apply_us", "End-to-end ApplyBatch latency", "us")) {}
+
+DeltaStatsSnapshot DeltaStats::Snapshot() const {
+  DeltaStatsSnapshot snap;
+  snap.batches = batches_->Value();
+  snap.ops_applied = ops_applied_->Value();
+  snap.ops_noop = ops_noop_->Value();
+  snap.components_rebuilt = components_rebuilt_->Value();
+  snap.components_reused = components_reused_->Value();
+  snap.sets_rebuilt = sets_rebuilt_->Value();
+  snap.fallbacks_full = fallbacks_full_->Value();
+  snap.splices = splices_->Value();
+  snap.equivalence_checks = equivalence_checks_->Value();
+  snap.equivalence_failures = equivalence_failures_->Value();
+  snap.working_sets = working_sets_->Value();
+  snap.components_total = components_total_->Value();
+  snap.last_dirty_components = last_dirty_components_->Value();
+  return snap;
+}
+
+}  // namespace delta
+}  // namespace oct

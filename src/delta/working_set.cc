@@ -1,0 +1,215 @@
+#include "delta/working_set.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "kernel/union_find.h"
+#include "util/logging.h"
+
+namespace oct {
+namespace delta {
+
+namespace {
+
+/// Content equality for "upsert with identical payload is a no-op".
+bool SameContent(const CandidateSet& a, const CandidateSet& b) {
+  return a.weight == b.weight && a.delta_override == b.delta_override &&
+         a.label == b.label && a.items == b.items;
+}
+
+/// Splices `occurrence` into a label key so duplicate labels within one
+/// input stay distinct (and deterministic by position).
+uint64_t OccurrenceKey(uint64_t base, size_t occurrence) {
+  if (occurrence == 0) return base;
+  uint64_t mixed = base ^ (0x9e3779b97f4a7c15ull * (occurrence + 1));
+  return mixed == 0 ? 1 : mixed;
+}
+
+}  // namespace
+
+uint32_t WorkingSet::SlotOfKey(uint64_t key) const {
+  auto it = slot_of_key_.find(key);
+  return it == slot_of_key_.end() ? kInvalidSlot : it->second;
+}
+
+void WorkingSet::AddPostings(uint32_t slot) {
+  for (ItemId item : slots_[slot].set.items) {
+    auto& list = postings_[item];
+    list.insert(std::lower_bound(list.begin(), list.end(), slot), slot);
+  }
+}
+
+void WorkingSet::ErasePostings(uint32_t slot) {
+  for (ItemId item : slots_[slot].set.items) {
+    auto& list = postings_[item];
+    auto it = std::lower_bound(list.begin(), list.end(), slot);
+    if (it != list.end() && *it == slot) list.erase(it);
+  }
+}
+
+bool WorkingSet::ApplyOne(const DeltaOp& op, std::vector<uint32_t>* touched) {
+  switch (op.kind) {
+    case DeltaOp::Kind::kUpsertQuery: {
+      OCT_CHECK(op.key != 0) << "upsert with key 0";
+      // Grow the universe to cover the new set before touching postings.
+      size_t need = universe_size_;
+      for (ItemId item : op.set.items) {
+        need = std::max(need, static_cast<size_t>(item) + 1);
+      }
+      if (need > universe_size_) {
+        universe_size_ = need;
+        postings_.resize(need);
+      }
+      auto [it, inserted] =
+          slot_of_key_.try_emplace(op.key, static_cast<uint32_t>(slots_.size()));
+      if (inserted) slots_.emplace_back();
+      const uint32_t slot = it->second;
+      Slot& s = slots_[slot];
+      if (!inserted && s.alive && SameContent(s.set, op.set)) return false;
+      if (s.alive) {
+        ErasePostings(slot);
+      } else {
+        ++num_alive_;
+      }
+      s.key = op.key;
+      s.set = op.set;
+      s.alive = true;
+      ++s.version;
+      AddPostings(slot);
+      touched->push_back(slot);
+      return true;
+    }
+    case DeltaOp::Kind::kRemoveQuery: {
+      const uint32_t slot = SlotOfKey(op.key);
+      if (slot == kInvalidSlot || !slots_[slot].alive) return false;
+      ErasePostings(slot);
+      slots_[slot].alive = false;
+      ++slots_[slot].version;
+      --num_alive_;
+      touched->push_back(slot);
+      return true;
+    }
+    case DeltaOp::Kind::kRemoveItem: {
+      if (op.item >= universe_size_ || postings_[op.item].empty()) {
+        return false;
+      }
+      // Take the posting list by move: erasing the item empties it anyway,
+      // and iterating a list we mutate underneath would be UB.
+      std::vector<uint32_t> holders = std::move(postings_[op.item]);
+      postings_[op.item].clear();
+      for (uint32_t slot : holders) {
+        Slot& s = slots_[slot];
+        s.set.items.Erase(op.item);
+        ++s.version;
+        if (s.set.items.empty()) {
+          // A candidate set with no items is invalid input; the query's
+          // entire result set was delisted, so the query goes too.
+          ErasePostings(slot);  // No-op (no items left), kept for symmetry.
+          s.alive = false;
+          --num_alive_;
+        }
+        touched->push_back(slot);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+ApplyOpsResult WorkingSet::ApplyBatch(const DeltaBatch& batch) {
+  ApplyOpsResult result;
+  for (const DeltaOp& op : batch.ops) {
+    if (ApplyOne(op, &result.touched_slots)) {
+      ++result.ops_applied;
+    } else {
+      ++result.ops_noop;
+    }
+  }
+  std::sort(result.touched_slots.begin(), result.touched_slots.end());
+  result.touched_slots.erase(
+      std::unique(result.touched_slots.begin(), result.touched_slots.end()),
+      result.touched_slots.end());
+  return result;
+}
+
+std::vector<DeltaOp> WorkingSet::DiffOps(const OctInput& truth) const {
+  std::vector<DeltaOp> ops;
+  std::unordered_map<uint64_t, size_t> label_occurrences;
+  std::unordered_map<uint64_t, bool> in_truth;
+  in_truth.reserve(truth.num_sets());
+
+  for (SetId q = 0; q < truth.num_sets(); ++q) {
+    const CandidateSet& set = truth.set(q);
+    const uint64_t base = DeltaLog::KeyForLabel(set.label);
+    const uint64_t key = OccurrenceKey(base, label_occurrences[base]++);
+    in_truth[key] = true;
+    const uint32_t slot = SlotOfKey(key);
+    if (slot != kInvalidSlot && slots_[slot].alive &&
+        SameContent(slots_[slot].set, set)) {
+      continue;
+    }
+    DeltaOp op;
+    op.kind = DeltaOp::Kind::kUpsertQuery;
+    op.key = key;
+    op.set = set;
+    ops.push_back(std::move(op));
+  }
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (!slots_[slot].alive) continue;
+    if (in_truth.count(slots_[slot].key) != 0) continue;
+    DeltaOp op;
+    op.kind = DeltaOp::Kind::kRemoveQuery;
+    op.key = slots_[slot].key;
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+OctInput WorkingSet::Materialize(std::vector<uint32_t>* slot_to_index) const {
+  OctInput input(universe_size_);
+  if (slot_to_index != nullptr) {
+    slot_to_index->assign(slots_.size(), kInvalidSlot);
+  }
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (!slots_[slot].alive) continue;
+    const SetId id = input.Add(slots_[slot].set);
+    if (slot_to_index != nullptr) (*slot_to_index)[slot] = id;
+  }
+  return input;
+}
+
+WorkingSet::Components WorkingSet::ComputeComponents() const {
+  Components result;
+  result.component_of.assign(slots_.size(), kInvalidSlot);
+  if (slots_.empty()) return result;
+
+  kernel::UnionFind uf(slots_.size());
+  for (const auto& list : postings_) {
+    for (size_t i = 1; i < list.size(); ++i) {
+      uf.Union(list[0], list[i]);
+    }
+  }
+  // Ascending slot scan: a component's index is assigned when its smallest
+  // slot is first seen, so components come out ordered by min slot and
+  // member lists ascending — deterministic across runs and platforms.
+  std::unordered_map<uint32_t, uint32_t> component_of_root;
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (!slots_[slot].alive) continue;
+    const uint32_t root = uf.Find(slot);
+    auto [it, inserted] = component_of_root.try_emplace(
+        root, static_cast<uint32_t>(result.members.size()));
+    if (inserted) result.members.emplace_back();
+    result.members[it->second].push_back(slot);
+    result.component_of[slot] = it->second;
+  }
+  return result;
+}
+
+const std::vector<uint32_t>& WorkingSet::Postings(ItemId item) const {
+  static const std::vector<uint32_t> kEmpty;
+  if (item >= universe_size_) return kEmpty;
+  return postings_[item];
+}
+
+}  // namespace delta
+}  // namespace oct

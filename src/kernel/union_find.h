@@ -1,0 +1,66 @@
+// UnionFind: disjoint-set forest with union by size and path halving.
+//
+// The delta-maintenance impact analysis partitions the candidate sets into
+// intersection-graph components (sets sharing at least one item) by folding
+// the inverted index: every posting list is one chain of unions. That is a
+// classic union-find workload — near-linear over millions of postings — so
+// the structure lives in the kernel next to the other set-algebra
+// primitives. Header-only and dependency-free like scratch.h.
+
+#ifndef OCT_KERNEL_UNION_FIND_H_
+#define OCT_KERNEL_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace oct {
+namespace kernel {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n)
+      : parent_(n), size_(n, 1), num_components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  size_t num_elements() const { return parent_.size(); }
+  size_t num_components() const { return num_components_; }
+
+  /// Root of `x`'s component, halving the path on the way up.
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the components of `a` and `b`; returns the surviving root.
+  /// No-op (returning the common root) when already joined.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_components_;
+    return ra;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Size of `x`'s component.
+  size_t ComponentSize(uint32_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_components_;
+};
+
+}  // namespace kernel
+}  // namespace oct
+
+#endif  // OCT_KERNEL_UNION_FIND_H_

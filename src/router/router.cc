@@ -1,6 +1,7 @@
 #include "router/router.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "fault/failpoint.h"
@@ -9,6 +10,22 @@
 
 namespace oct {
 namespace router {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// A result is shareable (cacheable / dedup-fan-out-able) when it is a
+/// clean, complete answer — errors, sheds, and best-so-far rankings are
+/// request-specific outcomes and recompute.
+bool Shareable(const RouteResult& result) {
+  return result.status.ok() && !result.degraded && !result.shed;
+}
+
+}  // namespace
 
 Router::Router(const serve::TreeStore* store, const data::SearchEngine* engine,
                RouterOptions options)
@@ -78,6 +95,81 @@ std::shared_ptr<const RouteIndex> Router::CurrentIndex() const {
     stats_.SetIndexVersion(static_cast<int64_t>(built->version()));
   }
   return index_cache_;
+}
+
+uint64_t Router::WorkKeyFor(const RouteRequest& request) const {
+  const size_t top_k = request.top_k != 0 ? request.top_k : options_.top_k;
+  const double min_jaccard =
+      request.min_jaccard >= 0.0 ? request.min_jaccard : options_.min_jaccard;
+  uint64_t jaccard_bits = 0;
+  static_assert(sizeof(jaccard_bits) == sizeof(min_jaccard), "");
+  std::memcpy(&jaccard_bits, &min_jaccard, sizeof(jaccard_bits));
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = MixHash(h, request.query.Key());
+  h = MixHash(h, top_k);
+  h = MixHash(h, jaccard_bits);
+  h = MixHash(h, request.max_score_nodes);
+  return h;
+}
+
+bool Router::CacheLookup(uint64_t key, serve::TreeVersion version,
+                         RouteResult* result) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (version != result_cache_version_) {
+    // First request against a freshly published tree: the old version's
+    // rankings are invalid, drop them all.
+    result_cache_.clear();
+    result_cache_map_.clear();
+    result_cache_version_ = version;
+    stats_.SetCacheSize(0);
+    return false;
+  }
+  auto it = result_cache_map_.find(key);
+  if (it == result_cache_map_.end()) return false;
+  result_cache_.splice(result_cache_.begin(), result_cache_, it->second);
+  *result = result_cache_.front().result;
+  return true;
+}
+
+void Router::CacheInsert(uint64_t key, serve::TreeVersion version,
+                         const RouteResult& result) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (version != result_cache_version_) {
+    result_cache_.clear();
+    result_cache_map_.clear();
+    result_cache_version_ = version;
+  }
+  auto it = result_cache_map_.find(key);
+  if (it != result_cache_map_.end()) {
+    result_cache_.splice(result_cache_.begin(), result_cache_, it->second);
+    result_cache_.front().result = result;
+  } else {
+    result_cache_.push_front({key, result});
+    result_cache_map_[key] = result_cache_.begin();
+    while (result_cache_.size() > options_.cache_capacity) {
+      result_cache_map_.erase(result_cache_.back().key);
+      result_cache_.pop_back();
+    }
+  }
+  stats_.SetCacheSize(static_cast<int64_t>(result_cache_.size()));
+}
+
+RouteResult Router::ProcessCached(const RouteIndex& index,
+                                  const RouteRequest& request,
+                                  const fault::CancelToken& cancel) const {
+  if (options_.cache_capacity == 0) {
+    return ProcessOne(index, request, cancel);
+  }
+  const uint64_t key = WorkKeyFor(request);
+  RouteResult cached;
+  if (CacheLookup(key, index.version(), &cached)) {
+    stats_.RecordCacheHit();
+    return cached;
+  }
+  stats_.RecordCacheMiss();
+  RouteResult result = ProcessOne(index, request, cancel);
+  if (Shareable(result)) CacheInsert(key, index.version(), result);
+  return result;
 }
 
 Status Router::Submit(RouteRequest request,
@@ -197,7 +289,16 @@ void Router::WorkerLoop() {
     std::shared_ptr<const RouteIndex> index =
         batch_status.ok() ? CurrentIndex() : nullptr;
 
-    for (Pending& pending : batch) {
+    // Cross-request dedup: requests with the same work key (query identity
+    // + every answer-shaping knob) resolve and score once per batch — the
+    // first one computes (possibly through the result cache) and clean
+    // answers fan out to the rest. Deterministic: ProcessOne is a pure
+    // function of (index version, request), so the fan-out copy is exactly
+    // what each follower would have computed.
+    std::unordered_map<uint64_t, size_t> leader_of;
+    std::vector<RouteResult> computed(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Pending& pending = batch[i];
       Timer timer;
       RouteResult result;
       result.queue_seconds = dequeue_elapsed - pending.enqueue_elapsed;
@@ -212,7 +313,16 @@ void Router::WorkerLoop() {
       } else if (index == nullptr) {
         result.status = Status::FailedPrecondition("router: no published tree");
       } else {
-        result = ProcessOne(*index, pending.request, pending.cancel);
+        const uint64_t key = WorkKeyFor(pending.request);
+        const auto leader = leader_of.find(key);
+        if (leader != leader_of.end() && Shareable(computed[leader->second])) {
+          result = computed[leader->second];
+          stats_.RecordDeduped();
+        } else {
+          result = ProcessCached(*index, pending.request, pending.cancel);
+          leader_of[key] = i;
+        }
+        computed[i] = result;
         result.queue_seconds = dequeue_elapsed - pending.enqueue_elapsed;
       }
       result.total_seconds =

@@ -33,10 +33,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "data/search_engine.h"
@@ -69,6 +71,12 @@ struct RouterOptions {
   /// Per-request wall-clock budget applied when a request carries none
   /// (0 = unlimited).
   double default_deadline_seconds = 0.0;
+  /// Head-query result cache: LRU capacity in entries (0 disables). The
+  /// cache is tagged with the pinned RouteIndex version and cleared on the
+  /// first request after a publish, so it can never serve a stale tree's
+  /// ranking. Only clean answers (OK, not degraded) are cached; RouteSerial
+  /// bypasses it so the oracle stays pure.
+  size_t cache_capacity = 0;
   /// Passed through to RouteIndex::Build at snapshot install.
   kernel::ItemSetIndexOptions index_options;
 };
@@ -183,6 +191,18 @@ class Router {
   /// queue timing fields.
   RouteResult ProcessOne(const RouteIndex& index, const RouteRequest& request,
                          const fault::CancelToken& cancel) const;
+  /// ProcessOne through the head-query result cache (batched path only).
+  RouteResult ProcessCached(const RouteIndex& index,
+                            const RouteRequest& request,
+                            const fault::CancelToken& cancel) const;
+  /// Work identity of a request: query key + every knob that changes the
+  /// answer. Two requests with equal work keys get identical results
+  /// against the same index version.
+  uint64_t WorkKeyFor(const RouteRequest& request) const;
+  bool CacheLookup(uint64_t key, serve::TreeVersion version,
+                   RouteResult* result) const;
+  void CacheInsert(uint64_t key, serve::TreeVersion version,
+                   const RouteResult& result) const;
   /// Terminal accounting shared by every answer path.
   void FinishResult(const RouteResult& result) const;
 
@@ -196,6 +216,18 @@ class Router {
   /// and TSan models mutexes natively (see serve::detail::SnapshotCell).
   mutable std::mutex index_mu_;
   mutable std::shared_ptr<const RouteIndex> index_cache_;
+
+  /// Head-query result cache: LRU over work keys, valid for exactly one
+  /// index version (`result_cache_version_`); cleared on version flip.
+  struct CachedRoute {
+    uint64_t key = 0;
+    RouteResult result;
+  };
+  mutable std::mutex cache_mu_;
+  mutable std::list<CachedRoute> result_cache_;  // Front = most recent.
+  mutable std::unordered_map<uint64_t, std::list<CachedRoute>::iterator>
+      result_cache_map_;
+  mutable serve::TreeVersion result_cache_version_ = 0;
 
   mutable std::mutex mu_;  // Guards queue_, workers_, run state.
   std::condition_variable cv_;

@@ -11,7 +11,8 @@ std::string RouterStatsSnapshot::ToString() const {
       buf, sizeof(buf),
       "requests=%llu routed=%llu unrouted=%llu shed=%llu "
       "(queue_full=%llu deadline=%llu) degraded=%llu errors=%llu "
-      "batches=%llu queue_depth=%lld index_version=%lld shed_rate=%.3f",
+      "batches=%llu cache=%llu/%llu deduped=%llu queue_depth=%lld "
+      "index_version=%lld shed_rate=%.3f",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(routed),
       static_cast<unsigned long long>(unrouted),
@@ -21,6 +22,9 @@ std::string RouterStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(degraded),
       static_cast<unsigned long long>(errors),
       static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_hits + cache_misses),
+      static_cast<unsigned long long>(deduped),
       static_cast<long long>(queue_depth),
       static_cast<long long>(index_version), ShedRate());
   return buf;
@@ -47,8 +51,20 @@ RouterStats::RouterStats()
           "router.errors", "Requests failed by resolve/score errors")),
       batches_(registry_.GetCounter("router.batches",
                                     "Worker batches drained from the queue")),
+      cache_hits_(registry_.GetCounter(
+          "router.cache_hits",
+          "Head-query result-cache hits (per-version cache)")),
+      cache_misses_(registry_.GetCounter(
+          "router.cache_misses",
+          "Head-query result-cache misses (computed and inserted)")),
+      deduped_(registry_.GetCounter(
+          "router.deduped",
+          "Requests answered by an identical leader in the same batch")),
       queue_depth_(registry_.GetGauge("router.queue_depth",
                                       "Requests waiting in the queue")),
+      cache_size_(registry_.GetGauge("router.cache_size",
+                                     "Entries in the head-query result "
+                                     "cache")),
       index_version_(registry_.GetGauge(
           "router.index_version",
           "TreeSnapshot version of the most recently pinned RouteIndex")),
@@ -70,7 +86,11 @@ RouterStatsSnapshot RouterStats::Snapshot() const {
   s.degraded = degraded_->Value();
   s.errors = errors_->Value();
   s.batches = batches_->Value();
+  s.cache_hits = cache_hits_->Value();
+  s.cache_misses = cache_misses_->Value();
+  s.deduped = deduped_->Value();
   s.queue_depth = queue_depth_->Value();
+  s.cache_size = cache_size_->Value();
   s.index_version = index_version_->Value();
   return s;
 }

@@ -36,8 +36,17 @@ struct RouterStatsSnapshot {
   uint64_t errors = 0;
   /// Worker batches drained from the queue.
   uint64_t batches = 0;
+  /// Head-query result-cache hits / misses (batched path only; the cache
+  /// is per tree version and cleared on every publish).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Requests in a batch answered by an identical leader request's result
+  /// (cross-request dedup) instead of scoring again.
+  uint64_t deduped = 0;
   /// Instantaneous queue depth.
   int64_t queue_depth = 0;
+  /// Entries currently in the result cache.
+  int64_t cache_size = 0;
   /// TreeSnapshot version of the most recently pinned RouteIndex.
   int64_t index_version = 0;
 
@@ -71,6 +80,10 @@ class RouterStats {
     batches_->Increment();
     batch_size_->Record(static_cast<double>(size));
   }
+  void RecordCacheHit() { cache_hits_->Increment(); }
+  void RecordCacheMiss() { cache_misses_->Increment(); }
+  void RecordDeduped() { deduped_->Increment(); }
+  void SetCacheSize(int64_t size) { cache_size_->Set(size); }
   void SetQueueDepth(int64_t depth) { queue_depth_->Set(depth); }
   void SetIndexVersion(int64_t version) { index_version_->Set(version); }
   void RecordQueueWait(double seconds) { queue_us_->Record(seconds * 1e6); }
@@ -95,8 +108,12 @@ class RouterStats {
   obs::Counter* degraded_;
   obs::Counter* errors_;
   obs::Counter* batches_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* deduped_;
   obs::Gauge* queue_depth_;
   obs::Gauge* index_version_;
+  obs::Gauge* cache_size_;
   obs::Histogram* route_us_;
   obs::Histogram* queue_us_;
   obs::Histogram* batch_size_;

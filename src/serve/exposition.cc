@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "data/datasets.h"
+#include "delta/maintainer.h"
 #include "obs/export.h"
 #include "router/query_parse.h"
 #include "router/router.h"
@@ -15,16 +16,21 @@ ServingExposition::ServingExposition(const TreeStore* store,
                                      const RebuildScheduler* scheduler,
                                      const ServeStats* stats,
                                      ExpositionOptions options,
-                                     router::Router* router)
+                                     router::Router* router,
+                                     const delta::DeltaMaintainer* maintainer)
     : store_(store),
       scheduler_(scheduler),
       router_(router),
+      maintainer_(maintainer),
       options_(std::move(options)) {
   obs::ExpositionOptions server_options;
   server_options.port = options_.port;
   server_options.bind_address = options_.bind_address;
   server_options.registries.push_back(obs::MetricsRegistry::Default());
   if (stats != nullptr) server_options.registries.push_back(&stats->registry());
+  if (maintainer_ != nullptr) {
+    server_options.registries.push_back(&maintainer_->stats().registry());
+  }
   if (router_ != nullptr) {
     server_options.registries.push_back(&router_->stats().registry());
     server_options.extra_endpoints.push_back(
@@ -197,6 +203,23 @@ std::string ServingExposition::StatusJson() const {
     w.Key("seconds").Double(last.seconds);
     w.Key("attempts").Int(last.attempts);
     if (!last.reason.empty()) w.Key("reason").String(last.reason);
+    w.EndObject();
+  }
+  if (maintainer_ != nullptr) {
+    const delta::DeltaStatsSnapshot ds = maintainer_->stats().Snapshot();
+    w.Key("delta").BeginObject();
+    w.Key("working_sets").Int(ds.working_sets);
+    w.Key("components").Int(ds.components_total);
+    w.Key("batches").Uint(ds.batches);
+    w.Key("ops_applied").Uint(ds.ops_applied);
+    w.Key("components_rebuilt").Uint(ds.components_rebuilt);
+    w.Key("components_reused").Uint(ds.components_reused);
+    w.Key("reuse_rate").Double(ds.ReuseRate());
+    w.Key("last_dirty_components").Int(ds.last_dirty_components);
+    w.Key("fallbacks_full").Uint(ds.fallbacks_full);
+    w.Key("splices").Uint(ds.splices);
+    w.Key("equivalence_checks").Uint(ds.equivalence_checks);
+    w.Key("equivalence_failures").Uint(ds.equivalence_failures);
     w.EndObject();
   }
   if (router_ != nullptr) {

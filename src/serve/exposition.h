@@ -39,6 +39,9 @@ namespace oct {
 namespace router {
 class Router;
 }  // namespace router
+namespace delta {
+class DeltaMaintainer;
+}  // namespace delta
 
 namespace serve {
 
@@ -58,10 +61,13 @@ class ServingExposition {
   /// then checks only snapshot availability, and /metrics renders only the
   /// default registry). `router` (nullable) mounts the /route endpoint,
   /// merges the router.* registry into /metrics, and folds router health
-  /// into /healthz. All referenced objects must outlive this instance.
+  /// into /healthz. `maintainer` (nullable) merges the delta.* registry
+  /// into /metrics and adds a "delta" object to /statusz. All referenced
+  /// objects must outlive this instance.
   ServingExposition(const TreeStore* store, const RebuildScheduler* scheduler,
                     const ServeStats* stats, ExpositionOptions options = {},
-                    router::Router* router = nullptr);
+                    router::Router* router = nullptr,
+                    const delta::DeltaMaintainer* maintainer = nullptr);
   ~ServingExposition();
 
   ServingExposition(const ServingExposition&) = delete;
@@ -94,6 +100,7 @@ class ServingExposition {
   const TreeStore* const store_;
   const RebuildScheduler* const scheduler_;
   router::Router* const router_;
+  const delta::DeltaMaintainer* const maintainer_;
   ExpositionOptions options_;
   std::unique_ptr<obs::ExpositionServer> server_;
 };

@@ -183,14 +183,28 @@ Status RebuildScheduler::AttemptRebuild(const OctInput& batch,
     cancel = &deadline;
   }
 
-  // Reuse the eval harness: same build path the figure benches exercise.
-  // Build errors (injected ctcr.build / cct.build faults) fail the attempt;
-  // a deadline hit yields a valid best-so-far tree that still runs the
-  // gates below.
+  // Build errors (injected ctcr.build / cct.build / delta.* faults) fail
+  // the attempt; a deadline hit on the batch path yields a valid
+  // best-so-far tree that still runs the gates below.
   Status build_status;
-  CategoryTree candidate = eval::BuildTree(policy_.algorithm, *dataset_,
-                                           batch, sim_, cancel, &build_status);
-  if (IsFailure(build_status)) return build_status;
+  CategoryTree candidate;
+  std::string note =
+      std::string("rebuild:") + eval::AlgorithmName(policy_.algorithm);
+  if (policy_.builder != nullptr) {
+    // Pluggable path (oct::delta): the builder produces the candidate; the
+    // gates and publish below stay with the scheduler.
+    Result<CandidateBuilder::Candidate> built =
+        policy_.builder->BuildCandidate(batch, cancel);
+    if (!built.ok()) return built.status();
+    CandidateBuilder::Candidate produced = std::move(built).value();
+    candidate = std::move(produced.tree);
+    if (!produced.note.empty()) note = std::move(produced.note);
+  } else {
+    // Reuse the eval harness: same build path the figure benches exercise.
+    candidate = eval::BuildTree(policy_.algorithm, *dataset_, batch, sim_,
+                                cancel, &build_status);
+    if (IsFailure(build_status)) return build_status;
+  }
   outcome->candidate_score =
       ScoreTree(batch, candidate, sim_, nullptr).normalized;
 
@@ -211,9 +225,7 @@ Status RebuildScheduler::AttemptRebuild(const OctInput& batch,
       outcome->reason = "update not conservative enough";
     } else {
       OCT_RETURN_NOT_OK(OCT_FAILPOINT("serve.publish"));
-      const auto published = store_->Publish(
-          std::move(candidate),
-          std::string("rebuild:") + eval::AlgorithmName(policy_.algorithm));
+      const auto published = store_->Publish(std::move(candidate), note);
       outcome->published = true;
       outcome->published_version = published->version();
       outcome->reason = "published";

@@ -35,6 +35,31 @@
 namespace oct {
 namespace serve {
 
+/// Pluggable candidate-tree source. When RebuildPolicy::builder is set, the
+/// scheduler asks it for the candidate instead of running the batch
+/// eval::BuildTree — this is how oct::delta routes drift-triggered rebuilds
+/// through the incremental path (which carries its own full-rebuild
+/// fallback). The scheduler still owns scoring, the publish gates, retry /
+/// breaker machinery, and the TreeStore publish itself.
+class CandidateBuilder {
+ public:
+  struct Candidate {
+    CategoryTree tree;
+    /// Publish-note override (empty keeps the scheduler's default
+    /// "rebuild:<algorithm>" note).
+    std::string note;
+  };
+
+  virtual ~CandidateBuilder() = default;
+
+  /// Builds a candidate tree for `batch`. `cancel` carries the rebuild
+  /// deadline (may be null; implementations may ignore it). Called from the
+  /// scheduler's single in-flight rebuild task — never concurrently. Any
+  /// non-OK result fails the attempt (and feeds retry/breaker logic).
+  virtual Result<Candidate> BuildCandidate(
+      const OctInput& batch, const fault::CancelToken* cancel) = 0;
+};
+
 /// When and how the scheduler rebuilds.
 struct RebuildPolicy {
   /// Algorithm for candidate trees. CTCR/CCT/IC-Q consume only the input;
@@ -49,6 +74,9 @@ struct RebuildPolicy {
   /// Conservative-update gate: discard candidates whose TreeDiff item
   /// stability against the served tree is below this (0 disables the gate).
   double min_item_stability = 0.0;
+  /// Candidate source override (not owned; must outlive the scheduler).
+  /// Null = the default eval::BuildTree batch path.
+  CandidateBuilder* builder = nullptr;
 
   // --- Resilience knobs ---
 

@@ -19,6 +19,7 @@
 #include "kernel/item_set_index.h"
 #include "kernel/pairwise.h"
 #include "kernel/scratch.h"
+#include "kernel/union_find.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -404,6 +405,24 @@ TEST(CctEquivalence, TreeIdenticalIndexOnOff) {
   const cct::CctResult a = cct::BuildCategoryTree(input, sim, plain);
   const cct::CctResult b = cct::BuildCategoryTree(input, sim, tuned);
   EXPECT_EQ(SerializeTree(a.tree), SerializeTree(b.tree));
+}
+
+TEST(UnionFind, UnionsBySizeWithPathHalving) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.num_components(), 6u);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  EXPECT_EQ(uf.Union(1, 0), uf.Find(0));  // Already joined: common root.
+  EXPECT_EQ(uf.num_components(), 4u);
+  uf.Union(1, 3);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.ComponentSize(3), 4u);
+  EXPECT_EQ(uf.ComponentSize(5), 1u);
+  EXPECT_EQ(uf.num_components(), 3u);
+  // Find is stable under repetition (path halving converges).
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.Find(0), uf.Find(0));
 }
 
 #ifndef NDEBUG

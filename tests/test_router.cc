@@ -613,6 +613,217 @@ TEST_F(RouterTest, StopDrainsEveryAdmittedRequest) {
 }
 
 // ---------------------------------------------------------------------------
+// Head-query result cache and cross-request dedup
+// ---------------------------------------------------------------------------
+
+TEST_F(RouterTest, ResultCacheHitsRepeatsAndMatchesSerialOracle) {
+  serve::TreeStore store(2);
+  store.Publish(CategoryTree(SharedTree()));
+  RouterOptions options;
+  options.num_workers = 1;
+  options.min_jaccard = 0.05;
+  options.cache_capacity = 16;
+  Router router(&store, SharedDataset().engine.get(), options);
+  router.Start();
+
+  RouteRequest request;
+  request.query = SampleQueries(1).front();
+  const RouteResult first = router.Route(request);
+  ASSERT_TRUE(first.status.ok());
+  RouterStatsSnapshot stats = router.stats().Snapshot();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_size, 1);
+
+  const RouteResult second = router.Route(request);
+  ASSERT_TRUE(second.status.ok());
+  stats = router.stats().Snapshot();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  // The cached answer is byte-for-byte the serial oracle's answer.
+  const RouteResult serial = router.RouteSerial(request);
+  EXPECT_EQ(second.version, serial.version);
+  ASSERT_EQ(second.ranked.size(), serial.ranked.size());
+  for (size_t i = 0; i < second.ranked.size(); ++i) {
+    EXPECT_EQ(second.ranked[i].node, serial.ranked[i].node);
+    EXPECT_DOUBLE_EQ(second.ranked[i].jaccard, serial.ranked[i].jaccard);
+    EXPECT_EQ(second.ranked[i].path, serial.ranked[i].path);
+  }
+  // RouteSerial bypasses the cache: counters are untouched by the oracle.
+  stats = router.stats().Snapshot();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+
+  // Different knobs on the same query are different work: no false hit.
+  RouteRequest wider = request;
+  wider.top_k = 9;
+  ASSERT_TRUE(router.Route(wider).status.ok());
+  stats = router.stats().Snapshot();
+  EXPECT_EQ(stats.cache_misses, 2u);
+  router.Stop();
+}
+
+TEST_F(RouterTest, ResultCacheInvalidatedOnPublish) {
+  serve::TreeStore store(2);
+  store.Publish(CategoryTree(SharedTree()), "v1");
+  RouterOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 16;
+  Router router(&store, SharedDataset().engine.get(), options);
+  router.Start();
+
+  RouteRequest request;
+  request.query = SampleQueries(1).front();
+  const RouteResult before = router.Route(request);
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_TRUE(router.Route(request).status.ok());
+  EXPECT_EQ(router.stats().Snapshot().cache_hits, 1u);
+
+  store.Publish(CategoryTree(SharedTree()), "v2");
+  const RouteResult after = router.Route(request);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_GT(after.version, before.version);
+  const RouterStatsSnapshot stats = router.stats().Snapshot();
+  // The publish flushed the v1 entries: this was a miss, not a stale hit.
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_size, 1);
+  router.Stop();
+}
+
+TEST_F(RouterTest, ResultCacheEvictsLeastRecentPastCapacity) {
+  serve::TreeStore store(2);
+  store.Publish(CategoryTree(SharedTree()));
+  RouterOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 2;
+  Router router(&store, SharedDataset().engine.get(), options);
+  router.Start();
+
+  const std::vector<data::Query> queries = SampleQueries(3);
+  for (const data::Query& query : queries) {
+    RouteRequest request;
+    request.query = query;
+    ASSERT_TRUE(router.Route(request).status.ok());
+  }
+  RouterStatsSnapshot stats = router.stats().Snapshot();
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.cache_size, 2);
+
+  // queries[0] was the least recent of the three: evicted, misses again.
+  RouteRequest request;
+  request.query = queries[0];
+  ASSERT_TRUE(router.Route(request).status.ok());
+  stats = router.stats().Snapshot();
+  EXPECT_EQ(stats.cache_misses, 4u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_size, 2);
+  router.Stop();
+}
+
+TEST_F(RouterTest, BatchDedupFansOutLeaderResultToIdenticalRequests) {
+  serve::TreeStore store(2);
+  store.Publish(CategoryTree(SharedTree()));
+  RouterOptions options;
+  options.num_workers = 1;
+  options.max_batch = 32;
+  options.max_queue = 64;
+  Router router(&store, SharedDataset().engine.get(), options);
+  router.Start();
+
+  // Stall the worker on a blocker batch so the identical requests pile
+  // into the queue and drain together as one batch.
+  ASSERT_TRUE(fault::FailPointRegistry::Default()
+                  ->Arm("router.batch", "delay:150")
+                  .ok());
+  const std::vector<data::Query> queries = SampleQueries(2);
+  std::atomic<size_t> done{0};
+  RouteRequest blocker;
+  blocker.query = queries[0];
+  ASSERT_TRUE(router.Submit(blocker, [&](RouteResult) { done++; }).ok());
+
+  constexpr size_t kClones = 8;
+  std::vector<RouteResult> results(kClones);
+  for (size_t i = 0; i < kClones; ++i) {
+    RouteRequest clone;
+    clone.query = queries[1];
+    ASSERT_TRUE(router
+                    .Submit(clone,
+                            [&results, i, &done](RouteResult r) {
+                              results[i] = std::move(r);
+                              done++;
+                            })
+                    .ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < kClones + 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(done.load(), kClones + 1);
+  fault::FailPointRegistry::Default()->DisarmAll();
+  // Snapshot before the oracle probe below adds its own routed count.
+  const RouterStatsSnapshot stats = router.stats().Snapshot();
+
+  // Every clone got the serial oracle's answer, whether it led or followed.
+  RouteRequest probe;
+  probe.query = queries[1];
+  const RouteResult serial = router.RouteSerial(probe);
+  for (size_t i = 0; i < kClones; ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << i;
+    EXPECT_EQ(results[i].version, serial.version) << i;
+    ASSERT_EQ(results[i].ranked.size(), serial.ranked.size()) << i;
+    for (size_t r = 0; r < serial.ranked.size(); ++r) {
+      EXPECT_EQ(results[i].ranked[r].node, serial.ranked[r].node);
+      EXPECT_DOUBLE_EQ(results[i].ranked[r].jaccard, serial.ranked[r].jaccard);
+      EXPECT_EQ(results[i].ranked[r].path, serial.ranked[r].path);
+    }
+  }
+  EXPECT_GE(stats.deduped, 1u);
+  EXPECT_LE(stats.deduped, kClones - 1);
+  EXPECT_EQ(stats.routed + stats.unrouted, kClones + 1);
+  router.Stop();
+}
+
+TEST_F(RouterTest, BatchedPathWithCacheStillMatchesSerialOracle) {
+  serve::TreeStore store(2);
+  store.Publish(CategoryTree(SharedTree()));
+  RouterOptions options;
+  options.num_workers = 2;
+  options.min_jaccard = 0.05;
+  // Large enough to hold the working set: rounds 2 and 3 replay the same
+  // queries in order, so every replay must hit.
+  options.cache_capacity = 64;
+  Router router(&store, SharedDataset().engine.get(), options);
+  router.Start();
+
+  const std::vector<data::Query> queries = SampleQueries(25);
+  for (int round = 0; round < 3; ++round) {
+    for (const data::Query& query : queries) {
+      RouteRequest request;
+      request.query = query;
+      const RouteResult batched = router.Route(request);
+      const RouteResult serial = router.RouteSerial(request);
+      ASSERT_EQ(batched.status.code(), serial.status.code());
+      EXPECT_EQ(batched.version, serial.version);
+      ASSERT_EQ(batched.ranked.size(), serial.ranked.size());
+      for (size_t i = 0; i < batched.ranked.size(); ++i) {
+        EXPECT_EQ(batched.ranked[i].node, serial.ranked[i].node);
+        EXPECT_DOUBLE_EQ(batched.ranked[i].jaccard, serial.ranked[i].jaccard);
+        EXPECT_EQ(batched.ranked[i].path, serial.ranked[i].path);
+      }
+    }
+  }
+  const RouterStatsSnapshot stats = router.stats().Snapshot();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_LE(stats.cache_size, 64);
+  router.Stop();
+}
+
+// ---------------------------------------------------------------------------
 // HTTP integration
 // ---------------------------------------------------------------------------
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/serialization.h"
+#include "delta/maintainer.h"
 #include "fault/failpoint.h"
 #include "paper_inputs.h"
 #include "serve/rebuild_scheduler.h"
@@ -397,6 +398,224 @@ TEST(ServeStress, BreakerOpensRecoversAndKillRecoverRestoresSnapshot) {
             "recovered:v" + std::to_string(good_version));
 
   std::filesystem::remove_all(dir);
+}
+
+/// CandidateSet literal for the delta stress scenarios.
+CandidateSet QuerySet(std::string label, std::vector<ItemId> items,
+                      double weight = 1.0) {
+  CandidateSet set;
+  set.items = ItemSet(std::move(items));
+  set.weight = weight;
+  set.label = std::move(label);
+  return set;
+}
+
+// Delta splices under live traffic: producer threads feed the DeltaLog
+// while the maintainer pumps spliced publishes, rollbacks and direct
+// publishes interleave with the splices, and readers hammer Current().
+// Invariants:
+//   - versions observed by any reader stay monotone, snapshots never torn,
+//   - retain-K keeps bounding the history while splices/publishes churn,
+//   - rollback mid-stream republishes cleanly and later splices continue,
+//   - every splice passes the equivalence audit (verify_epsilon > 0), so
+//     concurrency never lets an incrementally-spliced tree drift from the
+//     full rebuild of the same cumulative input.
+TEST(ServeStress, DeltaSplicesInterleaveWithPublishesAndRollbacks) {
+  constexpr size_t kRetain = 3;
+  constexpr int kRounds = 24;
+
+  TreeStore store(kRetain);
+  ServeStats stats;
+  const Similarity sim(Variant::kJaccardThreshold, 0.5);
+
+  delta::DeltaMaintainerOptions options;
+  options.verify_epsilon = 0.05;  // Audit every single splice.
+  delta::DeltaMaintainer maintainer(&store, &stats, sim, options);
+
+  // Bootstrap: a seed working set and its first published tree.
+  maintainer.UpsertQuery("shirt", QuerySet("shirt", {0, 1, 2, 3, 4}, 2.0));
+  maintainer.UpsertQuery("shoes", QuerySet("shoes", {10, 11, 12}, 1.5));
+  maintainer.UpsertQuery("socks", QuerySet("socks", {10, 11}, 1.0));
+  const auto seeded = maintainer.PublishFullRebuild();
+  ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> started{0};
+  std::vector<std::atomic<bool>> ok(3);
+  for (auto& flag : ok) flag.store(true);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < ok.size(); ++r) {
+    readers.emplace_back([&, r] {
+      started.fetch_add(1);
+      TreeVersion last_version = 0;
+      do {
+        const auto snap = store.Current();
+        if (snap == nullptr || snap->version() < last_version ||
+            snap->tree().num_nodes() == 0) {
+          ok[r].store(false);
+        } else {
+          last_version = snap->version();
+        }
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  // Two producers append concurrently with the pumps below — this is the
+  // DeltaLog's coalescing under real contention, checked by TSan.
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      started.fetch_add(1);
+      for (int i = 0; i < kRounds; ++i) {
+        const std::string label =
+            "p" + std::to_string(p) + "-q" + std::to_string(i % 6);
+        maintainer.UpsertQuery(
+            label, QuerySet(label,
+                            {static_cast<ItemId>((p * 13 + i * 7) % 24),
+                             static_cast<ItemId>((p * 5 + i * 11) % 24),
+                             static_cast<ItemId>(30 + p)},
+                            1.0 + 0.1 * (i % 4)));
+        if (i % 5 == 4) maintainer.RemoveQuery(label);
+        if (i % 9 == 8) {
+          maintainer.RemoveItem(static_cast<ItemId>(i % 24));
+        }
+      }
+    });
+  }
+  while (started.load() < ok.size() + producers.size()) {
+    std::this_thread::yield();
+  }
+
+  // Consumer: pump the log while producers append, interleaving rollbacks
+  // and a direct publish so delta versions and non-delta versions mix.
+  size_t splices = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto pumped = maintainer.PumpOnce();
+    ASSERT_TRUE(pumped.ok()) << pumped.status().ToString();
+    if (pumped.value() != 0) ++splices;
+    if (round % 6 == 3) {
+      ASSERT_TRUE(store.Rollback(store.CurrentVersion()).ok());
+    }
+    if (round % 8 == 5) {
+      store.Publish(TreeForRound(static_cast<uint32_t>(round)), "direct");
+    }
+    ASSERT_LE(store.RetainedVersions().size(), kRetain);
+  }
+  for (auto& t : producers) t.join();
+
+  // Drain whatever the producers appended after the last pump, then end on
+  // a spliced tree so the final note reflects the delta path.
+  const auto final_pump = maintainer.PumpOnce();
+  ASSERT_TRUE(final_pump.ok()) << final_pump.status().ToString();
+  const auto republished = maintainer.Republish();
+  ASSERT_TRUE(republished.ok()) << republished.status().ToString();
+
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  for (size_t r = 0; r < ok.size(); ++r) {
+    EXPECT_TRUE(ok[r].load()) << "reader " << r << " saw an inconsistency";
+  }
+
+  EXPECT_GT(splices, 0u);
+  EXPECT_LE(store.RetainedVersions().size(), kRetain);
+  ASSERT_NE(store.Current(), nullptr);
+  EXPECT_EQ(store.Current()->note().rfind("delta", 0), 0u)
+      << store.Current()->note();
+
+  // Every splice was audited against a fresh full rebuild; none diverged.
+  const delta::DeltaStatsSnapshot ds = maintainer.stats().Snapshot();
+  EXPECT_GT(ds.equivalence_checks, 0u);
+  EXPECT_EQ(ds.equivalence_failures, 0u);
+  EXPECT_GE(ds.splices, splices);
+}
+
+// Failed splice mid-chaos: arm the delta failpoints with error rates while
+// pumps, rollbacks, and readers run. Any pump may fail by injection — it
+// must fail closed (Status out, store untouched by the failed attempt),
+// and a later Republish()/pump must recover to a consistent spliced tree.
+TEST(ServeStress, DeltaSpliceFailuresRecoverUnderChaos) {
+  auto* registry = fault::FailPointRegistry::Default();
+  const bool env_armed = std::getenv("OCT_FAILPOINTS") != nullptr;
+  if (!env_armed) {
+    registry->Seed(20260808);
+    ASSERT_TRUE(registry
+                    ->ArmFromSpec("delta.apply=error:0.2,"
+                                  "delta.component=error:0.1,"
+                                  "delta.splice=error:0.2")
+                    .ok());
+  }
+
+  TreeStore store(/*retain=*/2);
+  ServeStats stats;
+  const Similarity sim(Variant::kJaccardThreshold, 0.5);
+  delta::DeltaMaintainerOptions options;
+  options.verify_epsilon = 0.05;
+  delta::DeltaMaintainer maintainer(&store, &stats, sim, options);
+
+  maintainer.UpsertQuery("seed-a", QuerySet("seed-a", {0, 1, 2}, 2.0));
+  maintainer.UpsertQuery("seed-b", QuerySet("seed-b", {5, 6, 7}, 1.0));
+  // Bootstrap may need several tries under injected apply/splice errors.
+  bool seeded = false;
+  for (int i = 0; i < 50 && !seeded; ++i) {
+    seeded = maintainer.PublishFullRebuild().ok();
+  }
+  ASSERT_TRUE(seeded);
+  const TreeVersion seeded_version = store.CurrentVersion();
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> reader_ok{true};
+  std::thread reader([&] {
+    TreeVersion last_version = 0;
+    do {
+      const auto snap = store.Current();
+      if (snap == nullptr || snap->version() < last_version) {
+        reader_ok.store(false);
+      } else {
+        last_version = snap->version();
+      }
+    } while (!done.load(std::memory_order_acquire));
+  });
+
+  size_t failed_pumps = 0;
+  for (int round = 0; round < 30; ++round) {
+    const std::string label = "q" + std::to_string(round % 8);
+    maintainer.UpsertQuery(
+        label, QuerySet(label,
+                        {static_cast<ItemId>(round % 16),
+                         static_cast<ItemId>((round * 3) % 16)},
+                        1.0));
+    const TreeVersion before = store.CurrentVersion();
+    const auto pumped = maintainer.PumpOnce();
+    if (!pumped.ok()) {
+      ++failed_pumps;
+      // Failed closed: the store still serves the pre-pump version.
+      EXPECT_EQ(store.CurrentVersion(), before);
+    }
+    if (round % 7 == 6) {
+      EXPECT_TRUE(store.Rollback(store.CurrentVersion()).ok());
+    }
+  }
+
+  // Recovery: disarm and republish the cumulative state. The drained ops
+  // survived the failed pumps inside the working set, so nothing is lost.
+  if (!env_armed) registry->DisarmAll();
+  bool recovered = false;
+  for (int i = 0; i < 50 && !recovered; ++i) {
+    recovered = maintainer.Republish().ok();
+  }
+  ASSERT_TRUE(recovered);
+
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_TRUE(reader_ok.load()) << "reader saw an inconsistency";
+
+  EXPECT_GT(store.CurrentVersion(), seeded_version);
+  EXPECT_EQ(store.Current()->note().rfind("delta", 0), 0u);
+  const delta::DeltaStatsSnapshot ds = maintainer.stats().Snapshot();
+  EXPECT_EQ(ds.equivalence_failures, 0u);
+  if (!env_armed) {
+    EXPECT_GT(failed_pumps, 0u);  // The schedule really injected failures.
+  }
 }
 
 }  // namespace

@@ -66,6 +66,16 @@ for round in $(seq 1 "$ROUNDS"); do
   OCT_FAILPOINTS="$schedule" OCT_FAILPOINT_SEED="$fp_seed" \
     "$BUILD_DIR/tests/test_serve_stress" \
     --gtest_filter='ServeStress.ReadersSurviveChaosScheduleWithRecoverableSnapshots'
+
+  # Same round, delta path: kill splices mid-flight and verify failed
+  # pumps leave the published tree untouched and the maintainer recovers.
+  delta_schedule="delta.apply=error:$(prob 30)"
+  delta_schedule="$delta_schedule,delta.component=error:$(prob 20)"
+  delta_schedule="$delta_schedule,delta.splice=error:$(prob 30)"
+  echo "   OCT_FAILPOINTS=$delta_schedule"
+  OCT_FAILPOINTS="$delta_schedule" OCT_FAILPOINT_SEED="$fp_seed" \
+    "$BUILD_DIR/tests/test_serve_stress" \
+    --gtest_filter='ServeStress.DeltaSpliceFailuresRecoverUnderChaos'
 done
 
 echo "chaos run clean: $ROUNDS round(s), base seed $SEED, mode $MODE."
