@@ -22,8 +22,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
+#include "core/serialization.h"
 #include "data/datasets.h"
 #include "delta/maintainer.h"
 #include "obs/trace.h"
@@ -33,6 +35,8 @@
 #include "serve/rebuild_scheduler.h"
 #include "serve/serve_stats.h"
 #include "serve/tree_store.h"
+#include "store/replica.h"
+#include "store/version_log.h"
 #include "util/table_writer.h"
 
 int main() {
@@ -79,8 +83,33 @@ int main() {
   router::Router router(&store, ds.engine.get(), router_options);
   router.Start();
 
+  // Durable version log + two local replicas. Every publish below rides
+  // along into the log (SetPublishHook after bootstrap) and ships to the
+  // replicas; /statusz exposes the durability block and /store/record
+  // serves framed records to replication fetchers.
+  const std::string store_dir =
+      std::filesystem::temp_directory_path() / "oct_online_store_log";
+  std::filesystem::remove_all(store_dir);
+  auto version_log = store::VersionLog::Open(store_dir + "/primary");
+  if (!version_log.ok()) {
+    std::printf("version log failed to open: %s\n",
+                version_log.status().ToString().c_str());
+    return 1;
+  }
+  store::ReplicaSet replicas(version_log->get());
+  for (const char* name : {"replica-a", "replica-b"}) {
+    auto replica = store::Replica::Open(name, store_dir + "/" + name);
+    if (!replica.ok()) {
+      std::printf("replica %s failed to open: %s\n", name,
+                  replica.status().ToString().c_str());
+      return 1;
+    }
+    replicas.AddReplica(std::move(replica).value());
+  }
+
   serve::ServingExposition exposition(&store, &scheduler, &stats,
                                       expose_options, &router, &maintainer);
+  exposition.AttachDurability(version_log->get(), &replicas);
   {
     const Status st = exposition.Start();
     if (!st.ok()) {
@@ -107,6 +136,28 @@ int main() {
               store.Current()->num_categories(),
               store.Current()->num_items_indexed(), boot.seconds,
               boot.candidate_score);
+
+  // Seed the version log with the bootstrap tree, then hook the store so
+  // every later publish (batch rebuild, delta splice, rollback) commits to
+  // the log and ships to the replicas on the publisher's thread.
+  {
+    const Status seeded = (*version_log)
+                              ->Commit(store.Current()->tree(),
+                                       store.Current()->version(),
+                                       "bootstrap");
+    if (!seeded.ok()) {
+      std::printf("version log seed failed: %s\n", seeded.ToString().c_str());
+      return 1;
+    }
+    (void)replicas.SyncAll();
+    store::VersionLog* log = version_log->get();
+    store::ReplicaSet* set = &replicas;
+    store.SetPublishHook([log, set](const serve::TreeSnapshot& snap) {
+      if (log->Commit(snap.tree(), snap.version(), snap.note()).ok()) {
+        (void)set->ShipCommitted(snap.version());
+      }
+    });
+  }
 
   // --- Serving traffic: item breadcrumbs and label facets. --------------
   const auto snap = store.Current();
@@ -263,6 +314,58 @@ int main() {
       std::printf("rolled back: v1's tree republished as v%llu\n",
                   static_cast<unsigned long long>((*rolled)->version()));
     }
+  }
+
+  // --- Durability: warm restart and replica failover. -------------------
+  // Every publish above was committed to the version log by the publish
+  // hook and shipped to both replicas. A "kill-free restart": a fresh
+  // process (modeled by a second log handle and an empty TreeStore) warm
+  // starts from the log and serves the exact same canonical tree, at the
+  // same version, with no rebuild.
+  std::printf("\nversion log: v%llu latest, %zu entries retained in %s\n",
+              static_cast<unsigned long long>(
+                  (*version_log)->LatestVersion()),
+              (*version_log)->Lineage().size(), store_dir.c_str());
+  {
+    auto restarted_log = store::VersionLog::Open(store_dir + "/primary");
+    if (restarted_log.ok()) {
+      serve::TreeStore restarted_store(/*retain=*/2);
+      const auto report =
+          store::WarmStart(restarted_log->get(), &restarted_store);
+      if (report.ok()) {
+        const bool same =
+            SerializeTree(restarted_store.Current()->tree()) ==
+            SerializeTree(store.Current()->tree());
+        std::printf("warm restart: serving v%llu from the log (%s)\n",
+                    static_cast<unsigned long long>(report->log_version),
+                    same ? "canonical match with the live process"
+                         : "MISMATCH");
+      }
+    }
+  }
+
+  // Failover drill: the primary stops (writers detach from its log), the
+  // best replica is promoted, and the serving store redirects to the
+  // promoted tree — an atomic publish, so readers never see a half state.
+  store.SetPublishHook(nullptr);
+  const auto promoted = replicas.PromoteBest();
+  if (promoted.ok()) {
+    store.Publish(promoted.value()->tree_store()->Current()->tree(),
+                  "failover to " + promoted.value()->name());
+    std::printf("failover: promoted %s at v%llu; now serving v%llu\n",
+                promoted.value()->name().c_str(),
+                static_cast<unsigned long long>(
+                    promoted.value()->LatestVersion()),
+                static_cast<unsigned long long>(store.CurrentVersion()));
+  } else {
+    std::printf("failover: no promotable replica (%s)\n",
+                promoted.status().ToString().c_str());
+  }
+  for (const store::ReplicaStatus& rs : replicas.Statuses()) {
+    std::printf("  replica %-10s %-12s v%llu (lag %llu)\n", rs.name.c_str(),
+                store::ReplicaStateName(rs.state),
+                static_cast<unsigned long long>(rs.version),
+                static_cast<unsigned long long>(rs.lag));
   }
 
   std::printf("\nstats: %s\n", stats.Snapshot().ToString().c_str());

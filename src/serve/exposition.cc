@@ -8,6 +8,8 @@
 #include "obs/export.h"
 #include "router/query_parse.h"
 #include "router/router.h"
+#include "store/replica.h"
+#include "store/version_log.h"
 
 namespace oct {
 namespace serve {
@@ -39,6 +41,12 @@ ServingExposition::ServingExposition(const TreeStore* store,
            return HandleRoute(request);
          }});
   }
+  // Always mounted; answers 503 until AttachDurability() provides a log.
+  server_options.extra_endpoints.push_back(
+      {"/store/record",
+       [this](const obs::HttpRequest& request) {
+         return HandleStoreRecord(request);
+       }});
   server_options.health = [this] { return Health(); };
   server_options.status_json = [this] { return StatusJson(); };
   server_ = std::make_unique<obs::ExpositionServer>(std::move(server_options));
@@ -172,6 +180,37 @@ std::string ServingExposition::HandleRoute(
   return obs::MakeHttpResponse(status, "application/json", w.str());
 }
 
+void ServingExposition::AttachDurability(const store::VersionLog* log,
+                                         const store::ReplicaSet* replicas) {
+  version_log_ = log;
+  replica_set_ = replicas;
+}
+
+std::string ServingExposition::HandleStoreRecord(
+    const obs::HttpRequest& request) const {
+  if (version_log_ == nullptr) {
+    return obs::MakeHttpResponse(503, "text/plain; charset=utf-8",
+                                 "no version log attached\n");
+  }
+  const std::string version_param =
+      obs::HttpQueryParam(request.query, "version");
+  const store::TreeVersion version =
+      version_param.empty()
+          ? version_log_->LatestVersion()
+          : static_cast<store::TreeVersion>(std::atoll(version_param.c_str()));
+  Result<std::string> record = version_log_->RecordBytes(version);
+  if (!record.ok()) {
+    const int status =
+        record.status().code() == StatusCode::kNotFound ? 404 : 500;
+    return obs::MakeHttpResponse(status, "text/plain; charset=utf-8",
+                                 record.status().ToString() + "\n");
+  }
+  // Framed record bytes verbatim: the replica-side InstallRecord verifies
+  // CRC + lineage, so the transport needs no integrity of its own.
+  return obs::MakeHttpResponse(200, "application/octet-stream",
+                               record.value());
+}
+
 std::string ServingExposition::StatusJson() const {
   obs::JsonWriter w;
   w.BeginObject();
@@ -220,6 +259,31 @@ std::string ServingExposition::StatusJson() const {
     w.Key("splices").Uint(ds.splices);
     w.Key("equivalence_checks").Uint(ds.equivalence_checks);
     w.Key("equivalence_failures").Uint(ds.equivalence_failures);
+    w.EndObject();
+  }
+  if (version_log_ != nullptr || replica_set_ != nullptr) {
+    w.Key("durability").BeginObject();
+    if (version_log_ != nullptr) {
+      const store::OpenReport& open = version_log_->open_report();
+      w.Key("log_dir").String(version_log_->dir());
+      w.Key("log_version").Uint(version_log_->LatestVersion());
+      w.Key("log_entries").Uint(version_log_->Lineage().size());
+      w.Key("torn_records_dropped").Uint(open.torn_records_dropped);
+      w.Key("records_quarantined").Uint(open.records_quarantined);
+      w.Key("manifest_rebuilt").Bool(open.manifest_rebuilt);
+    }
+    if (replica_set_ != nullptr) {
+      w.Key("replicas").BeginArray();
+      for (const store::ReplicaStatus& rs : replica_set_->Statuses()) {
+        w.BeginObject();
+        w.Key("name").String(rs.name);
+        w.Key("state").String(store::ReplicaStateName(rs.state));
+        w.Key("version").Uint(rs.version);
+        w.Key("lag").Uint(rs.lag);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
     w.EndObject();
   }
   if (router_ != nullptr) {

@@ -42,6 +42,10 @@ class Router;
 namespace delta {
 class DeltaMaintainer;
 }  // namespace delta
+namespace store {
+class VersionLog;
+class ReplicaSet;
+}  // namespace store
 
 namespace serve {
 
@@ -96,11 +100,24 @@ class ServingExposition {
   /// without sockets.
   std::string HandleRoute(const obs::HttpRequest& request) const;
 
+  /// Attaches the durability layer: mounts meaning into the always-present
+  /// /store/record endpoint (replication transport — serves framed version-
+  /// log records; 503 until attached) and adds a "durability" object to
+  /// /statusz. Either pointer may be null. Call before Start(): the
+  /// pointers are read from handler threads without synchronization.
+  void AttachDurability(const store::VersionLog* log,
+                        const store::ReplicaSet* replicas);
+
+  /// Full HTTP response of /store/record?version=N (latest when omitted).
+  std::string HandleStoreRecord(const obs::HttpRequest& request) const;
+
  private:
   const TreeStore* const store_;
   const RebuildScheduler* const scheduler_;
   router::Router* const router_;
   const delta::DeltaMaintainer* const maintainer_;
+  const store::VersionLog* version_log_ = nullptr;
+  const store::ReplicaSet* replica_set_ = nullptr;
   ExpositionOptions options_;
   std::unique_ptr<obs::ExpositionServer> server_;
 };

@@ -131,7 +131,16 @@ std::shared_ptr<const TreeSnapshot> TreeStore::Publish(CategoryTree tree,
   history_.push_back(snap);
   while (history_.size() > retain_) history_.pop_front();
   current_.Store(snap);
+  // Durability ride-along: the hook (e.g. a store::VersionLog commit) runs
+  // on the publisher's thread so the log order matches the publish order.
+  if (publish_hook_) publish_hook_(*snap);
   return snap;
+}
+
+void TreeStore::SetPublishHook(
+    std::function<void(const TreeSnapshot&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  publish_hook_ = std::move(hook);
 }
 
 std::shared_ptr<const TreeSnapshot> TreeStore::FindRetainedLocked(
@@ -304,10 +313,10 @@ Result<RecoveryReport> TreeStore::RecoverLatest(const std::string& dir,
     if (stats != nullptr) stats->RecordSnapshotRecovered();
     return report;
   }
-  return Status::NotFound("no valid snapshot in " + dir +
-                          " (scanned " + std::to_string(report.files_scanned) +
-                          ", quarantined " +
-                          std::to_string(report.files_quarantined) + ")");
+  // Nothing recoverable — an empty dir, only `.tmp`/`.corrupt` leftovers, or
+  // every candidate quarantined just now. That is a clean cold start, not an
+  // error: the report says what was scanned and published_version stays 0.
+  return report;
 }
 
 }  // namespace serve

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -163,10 +164,20 @@ class TreeStore {
   /// publishes the first one whose checksum and structure verify (as a new
   /// version, note "recovered:v<N>"). Files that fail verification are
   /// quarantined — renamed to `<name>.corrupt` — and skipped; leftover
-  /// `.tmp` files from a crashed writer are ignored. NotFound when no valid
-  /// snapshot exists.
+  /// `.tmp` files from a crashed writer are ignored. A scannable directory
+  /// with nothing recoverable (empty, or only quarantined/tmp leftovers)
+  /// yields an OK report with published_version == 0 — cold start, not an
+  /// error; NotFound is reserved for a directory that cannot be scanned.
   Result<RecoveryReport> RecoverLatest(const std::string& dir,
                                        ServeStats* stats = nullptr);
+
+  /// Installs `hook`, invoked synchronously inside every subsequent
+  /// Publish() (on the publisher's thread, after the snapshot becomes
+  /// current) — the attachment point for durability layers such as
+  /// store::VersionLog, which commit each published tree to disk. Pass
+  /// nullptr to detach. Publishers serialize, so the hook never runs
+  /// concurrently with itself.
+  void SetPublishHook(std::function<void(const TreeSnapshot&)> hook);
 
  private:
   std::shared_ptr<const TreeSnapshot> FindRetainedLocked(
@@ -177,6 +188,7 @@ class TreeStore {
   mutable std::mutex mu_;  // Guards history_ and next_version_ (writers only).
   std::deque<std::shared_ptr<const TreeSnapshot>> history_;
   TreeVersion next_version_ = 1;
+  std::function<void(const TreeSnapshot&)> publish_hook_;  // Guarded by mu_.
 };
 
 }  // namespace serve

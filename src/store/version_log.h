@@ -1,0 +1,181 @@
+// VersionLog: the durable, append-only history of published trees — the
+// storage layer under TreeStore. Layout on disk (one directory per log):
+//
+//   seg-000001.log     append-only segments of CRC32-framed records, each
+//   seg-000002.log     record one nested-set-encoded snapshot:
+//   ...                  record <version> <parent> <bytes> <crc32> <note>
+//   MANIFEST             <octstore-nested v1 payload>
+//
+// The MANIFEST names every committed record (version lineage + segment,
+// offset, length, payload CRC) and carries its own trailing CRC. It is
+// replaced by temp-file + fsync + atomic rename, which makes the rename the
+// *commit point*: a record is committed iff the manifest names it.
+//
+//   - Crash after the segment append but before the manifest rename leaves
+//     an orphan record; Open() truncates it away (torn_records_dropped) and
+//     the log recovers to the last committed version — never a torn one.
+//   - A corrupt or missing manifest is quarantined (MANIFEST.corrupt) and
+//     rebuilt best-effort from the CRC-verified segment records.
+//   - OpenAt(version) gives point-in-time rollback; OpenLatest() + a
+//     TreeStore publish hook (WarmStart) gives cross-process warm start.
+//   - RecordBytes()/InstallRecord() are the replication unit: a framed
+//     record is self-describing (version, parent, CRC) so a replica can
+//     verify lineage and integrity before installing. See store/replica.h.
+//
+// All methods are thread-safe behind one internal mutex; reads served off
+// the in-memory entry table only touch disk to load payload bytes.
+
+#ifndef OCT_STORE_VERSION_LOG_H_
+#define OCT_STORE_VERSION_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/category_tree.h"
+#include "serve/tree_snapshot.h"
+#include "util/status.h"
+
+namespace oct {
+namespace serve {
+class TreeStore;
+}  // namespace serve
+
+namespace store {
+
+using serve::TreeVersion;
+
+struct VersionLogOptions {
+  /// Roll to a fresh segment once the active one exceeds this many bytes.
+  size_t segment_bytes = 4u << 20;
+  /// Compact() keeps this many newest records (min 1).
+  size_t compact_keep = 8;
+};
+
+/// One committed record in the manifest, oldest first.
+struct LogEntry {
+  TreeVersion version = 0;
+  /// Version this record was derived from; 0 for a lineage seed.
+  TreeVersion parent = 0;
+  /// Segment file index ("seg-%06u.log") holding the record.
+  uint32_t segment = 0;
+  /// Byte offset / length of the full framed record within the segment.
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  /// CRC32 of the record payload (the nested-set document).
+  uint32_t payload_crc = 0;
+  std::string note;
+};
+
+/// What Open() found (and repaired) on disk.
+struct OpenReport {
+  size_t segments_scanned = 0;
+  size_t entries = 0;
+  TreeVersion latest_version = 0;
+  /// Appended-but-uncommitted (or torn) record bytes truncated away.
+  size_t torn_records_dropped = 0;
+  /// Records dropped because their CRC or lineage did not verify during a
+  /// manifest rebuild.
+  size_t records_quarantined = 0;
+  /// True when MANIFEST was missing/corrupt and rebuilt from segments.
+  bool manifest_rebuilt = false;
+};
+
+class VersionLog {
+ public:
+  /// Opens (creating if needed) the log in `dir`, repairing torn state as
+  /// described in the file comment. Fails only when the directory is
+  /// unusable or a manifest rebuild finds irreconcilable segments.
+  static Result<std::unique_ptr<VersionLog>> Open(
+      const std::string& dir, const VersionLogOptions& options = {});
+
+  VersionLog(const VersionLog&) = delete;
+  VersionLog& operator=(const VersionLog&) = delete;
+
+  /// Appends `tree` as `version` (must exceed the latest committed version;
+  /// parent is the latest committed version, 0 for the first record) and
+  /// commits the manifest. On any error the log is unchanged up to the
+  /// commit point.
+  Status Commit(const CategoryTree& tree, TreeVersion version,
+                const std::string& note = "");
+
+  /// Point-in-time read: decodes the committed record for `version`.
+  Result<CategoryTree> OpenAt(TreeVersion version) const;
+
+  /// Decodes the latest committed record. NotFound on an empty log.
+  Result<CategoryTree> OpenLatest() const;
+
+  /// Latest committed version; 0 when empty.
+  TreeVersion LatestVersion() const;
+
+  /// Committed lineage, oldest first.
+  std::vector<LogEntry> Lineage() const;
+
+  /// Note recorded with the latest committed record ("" when empty).
+  std::string LatestNote() const;
+
+  /// Drops all but the newest `compact_keep` records, rewriting them into a
+  /// fresh segment and deleting the old segment files.
+  Status Compact();
+
+  /// The framed record bytes for `version` — the replication ship unit.
+  Result<std::string> RecordBytes(TreeVersion version) const;
+
+  /// Verifies a framed record (CRC + lineage) and commits it verbatim.
+  /// Rules, given the local latest version L:
+  ///   - record.version <= L with identical payload CRC: OK (idempotent);
+  ///     with a different CRC: DataLoss (divergent lineage).
+  ///   - record.parent == L (or the log is empty): install, commit.
+  ///   - record.parent  > L: OutOfRange — the caller is lagging and must
+  ///     fetch the missing parents first.
+  ///   - otherwise: DataLoss — the sender's lineage diverged from ours.
+  Status InstallRecord(const std::string& record_bytes);
+
+  const OpenReport& open_report() const { return open_report_; }
+  const std::string& dir() const { return dir_; }
+  const VersionLogOptions& options() const { return options_; }
+
+ private:
+  VersionLog(std::string dir, VersionLogOptions options);
+
+  Status OpenLocked();
+  Status CommitFramedLocked(const std::string& frame, TreeVersion version,
+                            TreeVersion parent, uint32_t payload_crc,
+                            uint64_t payload_bytes, const std::string& note);
+  Status WriteManifestLocked();
+  Result<std::string> RecordBytesLocked(TreeVersion version) const;
+  const LogEntry* FindEntryLocked(TreeVersion version) const;
+
+  const std::string dir_;
+  const VersionLogOptions options_;
+  mutable std::mutex mu_;
+  std::vector<LogEntry> entries_;  // Oldest first.
+  uint32_t active_segment_ = 1;
+  uint64_t active_segment_bytes_ = 0;
+  OpenReport open_report_;
+};
+
+/// Result of WarmStart().
+struct WarmStartReport {
+  /// Latest committed version in the log (0 when the log was empty).
+  TreeVersion log_version = 0;
+  /// Version the recovered tree was republished as in the TreeStore
+  /// (0 when the log was empty and nothing was published).
+  TreeVersion published_version = 0;
+  size_t log_entries = 0;
+};
+
+/// Cross-process warm start: republishes the log's latest tree into
+/// `tree_store` (when the log is non-empty), then installs a publish hook so
+/// every future TreeStore publish — including DeltaMaintainer republishes —
+/// commits to `log` under a monotonically increasing log version. The hook
+/// holds raw pointers: `log` must outlive `tree_store`'s last publish.
+Result<WarmStartReport> WarmStart(VersionLog* log,
+                                  serve::TreeStore* tree_store);
+
+}  // namespace store
+}  // namespace oct
+
+#endif  // OCT_STORE_VERSION_LOG_H_

@@ -488,6 +488,109 @@ TEST(DeltaBuilder, RandomizedOpStreamStaysEquivalent) {
   }
 }
 
+TEST(WorkingSet, RemoveItemStormScrubsEveryPosting) {
+  // Catalog-side churn storm: mostly RemoveItem ops against a small item
+  // universe, interleaved with enough upserts to keep refilling it. After
+  // every round the postings index must agree exactly with a from-scratch
+  // oracle scan of the alive slots — no stale entries for delisted items,
+  // no missing entries for re-added ones.
+  constexpr ItemId kUniverse = 40;
+  WorkingSet ws;
+  Rng rng(20260808);
+  uint64_t fresh_label = 0;
+  std::vector<std::string> labels;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<DeltaOp> ops;
+    const int num_ops = 3 + int(rng.NextBelow(5));
+    for (int k = 0; k < num_ops; ++k) {
+      DeltaOp op;
+      if (labels.empty() || rng.NextBelow(10) < 3) {  // Refill.
+        const std::string label = "s" + std::to_string(fresh_label++);
+        labels.push_back(label);
+        std::vector<ItemId> items;
+        for (int j = 0; j < 2 + int(rng.NextBelow(5)); ++j) {
+          items.push_back(ItemId(rng.NextBelow(kUniverse)));
+        }
+        op = {DeltaOp::Kind::kUpsertQuery, Key(label), MakeSet(label, items),
+              0, 0};
+      } else {  // Storm: delist a random item, duplicates welcome.
+        op = {DeltaOp::Kind::kRemoveItem, 0, CandidateSet{},
+              ItemId(rng.NextBelow(kUniverse)), 0};
+      }
+      ops.push_back(std::move(op));
+    }
+    ws.ApplyBatch(BatchOf(std::move(ops)));
+
+    // Oracle: postings rebuilt by brute force from the alive slots.
+    size_t alive = 0;
+    std::vector<std::vector<uint32_t>> expected(ws.universe_size());
+    for (uint32_t slot = 0; slot < ws.num_slots(); ++slot) {
+      if (!ws.alive(slot)) continue;
+      ++alive;
+      ASSERT_FALSE(ws.set(slot).items.empty())
+          << "slot " << slot << " alive but empty after round " << round;
+      for (ItemId item : ws.set(slot).items) {
+        expected[item].push_back(slot);
+      }
+    }
+    EXPECT_EQ(ws.num_alive(), alive);
+    for (ItemId item = 0; item < ItemId(ws.universe_size()); ++item) {
+      EXPECT_EQ(ws.Postings(item), expected[item])
+          << "postings for item " << item << " diverge after round " << round;
+    }
+  }
+}
+
+TEST(DeltaBuilder, RemoveItemStormMatchesBatchOracle) {
+  // Remove-heavy randomized stream: the incremental tree after each storm
+  // round must stay equivalent to a plain batch rebuild of the same
+  // cumulative input (VerifyEquivalence = canonical agreement with a fresh
+  // sharded rebuild + score within epsilon of the batch tree), even while
+  // RemoveItem ops empty out and resurrect whole candidate sets.
+  const Similarity sim(Variant::kJaccardThreshold, 0.6);
+  DeltaBuilderOptions options;
+  options.max_dirty_fraction = 0.6;
+  DeltaBuilder builder(sim, options);
+  Rng rng(77);
+
+  std::vector<std::string> labels;
+  uint64_t fresh_label = 0;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<DeltaOp> ops;
+    const int num_ops = 3 + int(rng.NextBelow(4));
+    for (int k = 0; k < num_ops; ++k) {
+      DeltaOp op;
+      const uint64_t dice = rng.NextBelow(10);
+      if (labels.empty() || dice < 3) {  // Keep some supply of sets.
+        const std::string label = "q" + std::to_string(fresh_label++);
+        labels.push_back(label);
+        std::vector<ItemId> items;
+        const ItemId base = ItemId(10 * rng.NextBelow(4));
+        for (int j = 0; j < 3 + int(rng.NextBelow(4)); ++j) {
+          items.push_back(base + ItemId(rng.NextBelow(12)));
+        }
+        op.kind = DeltaOp::Kind::kUpsertQuery;
+        op.key = Key(label);
+        op.set = MakeSet(label, items, 1.0 + double(rng.NextBelow(3)));
+      } else {  // Remove-heavy: 70% of ops are catalog churn.
+        op.kind = DeltaOp::Kind::kRemoveItem;
+        op.item = ItemId(rng.NextBelow(52));
+      }
+      ops.push_back(std::move(op));
+    }
+    Result<DeltaApplyOutcome> outcome = builder.ApplyBatch(BatchOf(ops));
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    const Status equivalent =
+        builder.VerifyEquivalence(outcome.value().tree, 0.1);
+    EXPECT_TRUE(equivalent.ok())
+        << "round " << round << ": " << equivalent.ToString();
+    // The spliced tree must also be a valid model of exactly the surviving
+    // input — no category may reference a delisted item.
+    EXPECT_TRUE(
+        outcome.value().tree.ValidateModel(builder.CumulativeInput()).ok());
+  }
+}
+
 TEST(DeltaBuilder, EmptyWorkingSetSplicesAnEmptyValidTree) {
   const Similarity sim(Variant::kJaccardThreshold, 0.7);
   DeltaBuilder builder(sim);

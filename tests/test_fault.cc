@@ -620,8 +620,13 @@ TEST_F(PersistenceTest, TruncatedFileIsDataLossNotServed) {
   ASSERT_TRUE(WriteFile(SnapshotPath(1), bytes).ok());
 
   TreeStore recovered;
+  // Every candidate quarantines away mid-scan: that is a clean "nothing
+  // recoverable" report (cold start), not an error.
   const auto report = recovered.RecoverLatest(dir_);
-  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->published_version, 0u);
+  EXPECT_EQ(report->files_scanned, 1u);
+  EXPECT_EQ(report->files_quarantined, 1u);
   EXPECT_EQ(recovered.Current(), nullptr);
   EXPECT_TRUE(std::filesystem::exists(SnapshotPath(1) + ".corrupt"));
 }
@@ -639,8 +644,12 @@ TEST_F(PersistenceTest, LeftoverTmpFileFromCrashIsIgnored) {
   EXPECT_FALSE(std::filesystem::exists(SnapshotPath(1)));
 
   TreeStore recovered;
-  EXPECT_EQ(recovered.RecoverLatest(dir_).status().code(),
-            StatusCode::kNotFound);
+  // Only the .tmp leftover exists: clean empty report, nothing published.
+  auto empty_report = recovered.RecoverLatest(dir_);
+  ASSERT_TRUE(empty_report.ok());
+  EXPECT_EQ(empty_report->published_version, 0u);
+  EXPECT_EQ(empty_report->files_scanned, 0u);
+  EXPECT_EQ(recovered.Current(), nullptr);
 
   // Retrying the persist (fault exhausted) completes the write; recovery
   // then succeeds even with the stale .tmp still present.
@@ -667,6 +676,69 @@ TEST_F(PersistenceTest, RecoverOnMissingDirectoryIsNotFound) {
   TreeStore store;
   EXPECT_EQ(store.RecoverLatest(dir_ + "/nonexistent").status().code(),
             StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, RecoverOnEmptyDirectoryIsCleanReport) {
+  ASSERT_TRUE(std::filesystem::create_directories(dir_));
+  TreeStore store;
+  auto report = store.RecoverLatest(dir_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->published_version, 0u);
+  EXPECT_EQ(report->persisted_version, 0u);
+  EXPECT_EQ(report->files_scanned, 0u);
+  EXPECT_EQ(report->files_quarantined, 0u);
+  EXPECT_EQ(store.Current(), nullptr);
+}
+
+TEST_F(PersistenceTest, RecoverOnOnlyQuarantinedFilesIsCleanReport) {
+  // A dir holding nothing but prior quarantine leftovers: prior runs
+  // renamed every snapshot to .corrupt, so the scan sees zero candidates
+  // and must report a clean cold start instead of an error.
+  TreeStore store;
+  store.Publish(MarkerTree(6), "v1");
+  ASSERT_TRUE(store.PersistSnapshot(dir_).ok());
+  std::filesystem::rename(SnapshotPath(1), SnapshotPath(1) + ".corrupt");
+
+  TreeStore recovered;
+  ServeStats stats;
+  auto report = recovered.RecoverLatest(dir_, &stats);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->published_version, 0u);
+  EXPECT_EQ(report->files_scanned, 0u);
+  EXPECT_EQ(report->files_quarantined, 0u);
+  EXPECT_EQ(stats.Snapshot().snapshots_recovered, 0u);
+  EXPECT_EQ(recovered.Current(), nullptr);
+}
+
+TEST_F(PersistenceTest, RecoverMixedValidTruncatedCorruptPicksValid) {
+  TreeStore store;
+  store.Publish(MarkerTree(1), "v1");
+  ASSERT_TRUE(store.PersistSnapshot(dir_).ok());
+  store.Publish(MarkerTree(2), "v2");
+  ASSERT_TRUE(store.PersistSnapshot(dir_).ok());
+  store.Publish(MarkerTree(3), "v3");
+  ASSERT_TRUE(store.PersistSnapshot(dir_).ok());
+
+  // v3 truncated (torn write), v2 bit-flipped (rot); v1 stays good.
+  auto v3 = ReadFile(SnapshotPath(3));
+  ASSERT_TRUE(v3.ok());
+  ASSERT_TRUE(WriteFile(SnapshotPath(3), v3->substr(0, v3->size() / 2)).ok());
+  auto v2 = ReadFile(SnapshotPath(2));
+  ASSERT_TRUE(v2.ok());
+  std::string bytes = std::move(v2).value();
+  bytes[bytes.size() - 3] ^= 0x81;
+  ASSERT_TRUE(WriteFile(SnapshotPath(2), bytes).ok());
+
+  TreeStore recovered;
+  auto report = recovered.RecoverLatest(dir_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->persisted_version, 1u);
+  EXPECT_EQ(report->files_scanned, 3u);
+  EXPECT_EQ(report->files_quarantined, 2u);
+  ASSERT_NE(recovered.Current(), nullptr);
+  EXPECT_TRUE(recovered.Current()->Contains(1));
+  EXPECT_TRUE(std::filesystem::exists(SnapshotPath(3) + ".corrupt"));
+  EXPECT_TRUE(std::filesystem::exists(SnapshotPath(2) + ".corrupt"));
 }
 
 }  // namespace

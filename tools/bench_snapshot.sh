@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Captures a dated benchmark snapshot: runs micro_benchmarks,
-# kernel_speedup, serving_throughput, router_closed_loop, and
-# delta_rebuild with OCT_BENCH_JSON, merges their
+# kernel_speedup, serving_throughput, router_closed_loop, delta_rebuild,
+# and store_recovery with OCT_BENCH_JSON, merges their
 # structured reports into bench/history/BENCH_<date>.json, and (when
 # bench/history/baseline.json exists) prints a non-blocking drift report
 # against it via tools/bench_diff.py. The history directory accumulates one
@@ -24,7 +24,7 @@ TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
 for bench in micro_benchmarks kernel_speedup serving_throughput \
-             router_closed_loop delta_rebuild; do
+             router_closed_loop delta_rebuild store_recovery; do
   bin="$BUILD_DIR/bench/$bench"
   if [ ! -x "$bin" ]; then
     echo "missing $bin -- build benchmarks first:" >&2

@@ -43,8 +43,16 @@ case "$MODE" in
     ;;
 esac
 
-cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target test_fault test_serve_stress
+TARGETS="test_fault test_serve_stress"
+# Plain mode also gets the kill-and-recover bench: real fork + SIGKILL
+# writers plus replica failover under live /route traffic. Unsafe (and not
+# built) under TSan, where the error/delay replication round below covers
+# the same invariants without killing processes.
+if [ "$MODE" = plain ]; then
+  TARGETS="$TARGETS store_recovery"
+fi
+# shellcheck disable=SC2086
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target $TARGETS
 
 # Deterministic schedule stream: bash's $RANDOM reseeds from assignment.
 RANDOM="$SEED"
@@ -76,6 +84,28 @@ for round in $(seq 1 "$ROUNDS"); do
   OCT_FAILPOINTS="$delta_schedule" OCT_FAILPOINT_SEED="$fp_seed" \
     "$BUILD_DIR/tests/test_serve_stress" \
     --gtest_filter='ServeStress.DeltaSpliceFailuresRecoverUnderChaos'
+
+  # Same round, durability path: drop replica ships, fail log commits and
+  # installs, race promotions — the replica set must quarantine divergence,
+  # heal on reseed, and end with every replica on the primary lineage.
+  store_schedule="repl.ship=error:$(prob 30)"
+  store_schedule="$store_schedule,repl.install=error:$(prob 20)"
+  store_schedule="$store_schedule,store.commit=error:$(prob 15)"
+  store_schedule="$store_schedule,repl.promote=error:$(prob 20)"
+  store_schedule="$store_schedule,store.record.read=delay:$((RANDOM % 2 + 1))ms:$(prob 30)"
+  echo "   OCT_FAILPOINTS=$store_schedule"
+  OCT_FAILPOINTS="$store_schedule" OCT_FAILPOINT_SEED="$fp_seed" \
+    "$BUILD_DIR/tests/test_serve_stress" \
+    --gtest_filter='ServeStress.StoreReplicationFailoverUnderChaos'
 done
+
+# Kill-and-recover round (plain mode only): forked writers die by SIGKILL /
+# SIGABRT mid-commit and replicas are promoted under live router traffic.
+# The bench hard-gates 100/100 exact recoveries, zero torn reads, and
+# sheds-never-stalls internally.
+if [ "$MODE" = plain ]; then
+  echo "== kill-and-recover round (bench/store_recovery)"
+  "$BUILD_DIR/bench/store_recovery"
+fi
 
 echo "chaos run clean: $ROUNDS round(s), base seed $SEED, mode $MODE."
