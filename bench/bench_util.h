@@ -5,9 +5,19 @@
 // Every bench that goes through PrintHeader/Sweep* also participates in
 // structured output for free:
 //   OCT_BENCH_JSON=<path>  write a per-run JSON report (tables + metrics +
-//                          span aggregates) at process exit
+//                          span aggregates + hardware perf counters) at
+//                          process exit
 //   OCT_TRACE=<path>       enable span tracing and write a Chrome-trace
 //                          (chrome://tracing / Perfetto) file at exit
+//
+// Reports carry a "perf" object: whole-process and per-phase hardware
+// counters (cycles, instructions, LLC references/misses, derived IPC and
+// miss rate) via util/perf_counters.h, or the explicit marker
+// "perf_unavailable" when perf_event_open is denied — so a snapshot never
+// silently pretends it measured the hardware. The active kernel ISA tier
+// is recorded alongside ("kernel_isa"), making snapshots comparable across
+// machines and OCT_KERNEL_ISA overrides. docs/PERFORMANCE.md documents how
+// to read these fields; tools/bench_diff.py diffs them advisorily.
 
 #ifndef OCT_BENCH_BENCH_UTIL_H_
 #define OCT_BENCH_BENCH_UTIL_H_
@@ -20,9 +30,11 @@
 
 #include "data/datasets.h"
 #include "eval/harness.h"
+#include "kernel/simd_dispatch.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/perf_counters.h"
 #include "util/table_writer.h"
 
 namespace oct {
@@ -51,6 +63,26 @@ class BenchReport {
     tables_.emplace_back(std::move(key), table.ToJson());
   }
 
+  /// Records a named hardware-counter sample (one measured phase). Samples
+  /// with available == false are dropped — the report-level marker already
+  /// says why there are none.
+  void AddPerfSample(const std::string& name, const util::PerfSample& sample) {
+    if (!sample.available) return;
+    std::string key = name;
+    int n = 1;
+    for (bool dup = true; dup;) {
+      dup = false;
+      for (const auto& [existing, s] : perf_phases_) {
+        if (existing == key) {
+          key = name + "_" + std::to_string(++n);
+          dup = true;
+          break;
+        }
+      }
+    }
+    perf_phases_.emplace_back(std::move(key), sample);
+  }
+
   /// Installs the exit hook once and enables tracing when OCT_TRACE is set.
   void Init() {
     if (initialized_) return;
@@ -58,6 +90,9 @@ class BenchReport {
     if (std::getenv("OCT_TRACE") != nullptr) {
       obs::SetTracingEnabled(true);
     }
+    // Whole-process counters: every bench gets at least the "process"
+    // perf sample without instrumenting each phase.
+    process_counters_.Start();
     std::atexit([] { BenchReport::Get().WriteIfRequested(); });
   }
 
@@ -87,6 +122,8 @@ class BenchReport {
     w.EndObject();
     w.Key("metrics").Raw(obs::MetricsToJson(*obs::MetricsRegistry::Default()));
     w.Key("spans").Raw(obs::SpansToJson(spans));
+    w.Key("kernel_isa").String(kernel::IsaTierName(kernel::ActiveIsaTier()));
+    WritePerf(w);
     w.EndObject();
     const Status st = obs::WriteStringToFile(json_path, w.str());
     if (!st.ok()) {
@@ -102,9 +139,65 @@ class BenchReport {
     }
     return false;
   }
+
+  static void WriteSample(obs::JsonWriter& w, const util::PerfSample& s) {
+    w.BeginObject();
+    w.Key("cycles").Uint(s.cycles);
+    w.Key("instructions").Uint(s.instructions);
+    w.Key("ipc").Double(s.Ipc());
+    if (s.has_llc) {
+      w.Key("llc_references").Uint(s.llc_references);
+      w.Key("llc_misses").Uint(s.llc_misses);
+      w.Key("llc_miss_rate").Double(s.LlcMissRate());
+    }
+    w.EndObject();
+  }
+
+  /// The "perf" object: either the samples or the explicit
+  /// "perf_unavailable" marker — never silent absence.
+  void WritePerf(obs::JsonWriter& w) {
+    w.Key("perf").BeginObject();
+    const bool available = util::PerfCounters::Supported();
+    w.Key("available").Bool(available);
+    if (!available) {
+      w.Key("marker").String("perf_unavailable");
+      w.EndObject();
+      return;
+    }
+    w.Key("process");
+    WriteSample(w, process_counters_.Stop());
+    w.Key("phases").BeginObject();
+    for (const auto& [phase, sample] : perf_phases_) {
+      w.Key(phase);
+      WriteSample(w, sample);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+
   bool initialized_ = false;
   std::string name_;
   std::vector<std::pair<std::string, std::string>> tables_;
+  std::vector<std::pair<std::string, util::PerfSample>> perf_phases_;
+  util::PerfCounters process_counters_;
+};
+
+/// RAII phase measurement: counts the enclosed scope's hardware events and
+/// files them under `name` in the report's perf.phases. Free when perf is
+/// unavailable (both ends are no-ops).
+class PerfPhase {
+ public:
+  explicit PerfPhase(std::string name) : name_(std::move(name)) {
+    counters_.Start();
+  }
+  ~PerfPhase() { BenchReport::Get().AddPerfSample(name_, counters_.Stop()); }
+
+  PerfPhase(const PerfPhase&) = delete;
+  PerfPhase& operator=(const PerfPhase&) = delete;
+
+ private:
+  std::string name_;
+  util::PerfCounters counters_;
 };
 
 /// Prints a standard bench header with the dataset shape and scale.

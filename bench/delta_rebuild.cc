@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
@@ -190,6 +191,7 @@ int Run() {
                      "fallback"});
   std::vector<std::string> failures;
 
+  auto perf_sweep = std::make_unique<bench::PerfPhase>("delta_sweep");
   for (double fraction : fractions) {
     const size_t ops = std::max<size_t>(
         1, static_cast<size_t>(fraction * static_cast<double>(num_seeded) +
@@ -243,6 +245,8 @@ int Run() {
       }
     }
   }
+
+  perf_sweep.reset();  // File the delta_sweep counters.
 
   // Drift-bound fallback: touching the head component dirties ~all sets,
   // which must trip fallback_full rather than pretend to be incremental.

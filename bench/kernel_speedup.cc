@@ -12,6 +12,13 @@
 //      bit-identical, plus an end-to-end CCT tree-identity check with the
 //      index on vs off.
 //
+// The header line reports the active SIMD dispatch tier (scalar / avx2 /
+// avx512, see kernel/simd_dispatch.h) so recorded speedups are attributable
+// to a specific code path; each timed phase is wrapped in a PerfPhase, so
+// OCT_BENCH_JSON snapshots carry per-phase hardware counters (IPC, LLC
+// miss rate) when perf_event_open is available — and the explicit
+// "perf_unavailable" marker when it is not.
+//
 // Structured output: OCT_BENCH_JSON / OCT_TRACE as in every other bench.
 
 #include <algorithm>
@@ -28,6 +35,8 @@
 #include "data/datasets.h"
 #include "kernel/item_set_index.h"
 #include "kernel/pairwise.h"
+#include "kernel/simd_dispatch.h"
+#include "util/perf_counters.h"
 #include "util/table_writer.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -142,24 +151,37 @@ int main() {
   const Similarity sim(Variant::kJaccardThreshold, 0.8);
   const data::Dataset ds = data::MakeDataset('C', sim);
   bench::PrintHeader("kernel_speedup", ds);
+  std::printf("kernel ISA tier: %s (highest supported: %s), perf counters: %s\n\n",
+              kernel::IsaTierName(kernel::ActiveIsaTier()),
+              kernel::IsaTierName(kernel::HighestSupportedIsaTier()),
+              util::PerfCounters::Supported() ? "available"
+                                              : "perf_unavailable");
   const size_t n = ds.input.num_sets();
   const size_t all_pairs = n * (n - 1) / 2;
 
   // --- Conflict enumeration: baseline vs kernel ------------------------
   ctcr::ConflictAnalysis baseline;
-  const double baseline_s = TimeMin(
-      [&] { baseline = BaselineAnalyzeConflicts(ds.input, sim); });
+  double baseline_s = 0;
+  {
+    bench::PerfPhase perf("conflict_enum_baseline");
+    baseline_s = TimeMin(
+        [&] { baseline = BaselineAnalyzeConflicts(ds.input, sim); });
+  }
 
   // The kernel time covers everything the accelerated path needs,
   // including building the ItemSetIndex it runs on.
   ctcr::ConflictAnalysis accelerated;
   kernel::ItemSetIndex index;
-  const double kernel_s = TimeMin([&] {
-    index = kernel::ItemSetIndex::Build(ds.input);
-    accelerated = ctcr::AnalyzeConflicts(ds.input, sim,
-                                         /*find_3conflicts=*/false,
-                                         /*pool=*/nullptr, &index);
-  });
+  double kernel_s = 0;
+  {
+    bench::PerfPhase perf("conflict_enum_kernel");
+    kernel_s = TimeMin([&] {
+      index = kernel::ItemSetIndex::Build(ds.input);
+      accelerated = ctcr::AnalyzeConflicts(ds.input, sim,
+                                           /*find_3conflicts=*/false,
+                                           /*pool=*/nullptr, &index);
+    });
+  }
   if (!SameConflictStructure(baseline, accelerated)) {
     return Fail("kernel conflict structure differs from the baseline");
   }
@@ -193,20 +215,28 @@ int main() {
   const cct::Embeddings emb = cct::EmbedInputSets(ds.input, sim, &index);
   const size_t m = emb.num_rows();
   std::vector<float> oracle(m * (m - 1) / 2);
-  const double oracle_s = TimeMin([&] {
-    size_t k = 0;
-    for (size_t i = 0; i < m; ++i) {
-      for (size_t j = i + 1; j < m; ++j, ++k) {
-        oracle[k] = static_cast<float>(emb.Distance(i, j));
+  double oracle_s = 0;
+  {
+    bench::PerfPhase perf("distance_matrix_baseline");
+    oracle_s = TimeMin([&] {
+      size_t k = 0;
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = i + 1; j < m; ++j, ++k) {
+          oracle[k] = static_cast<float>(emb.Distance(i, j));
+        }
       }
-    }
-  });
+    });
+  }
   std::vector<float> fast;
-  const double fast_s = TimeMin([&] {
-    fast = kernel::CondensedEuclideanDistances(emb.rows(),
-                                               emb.squared_norms(),
-                                               DefaultThreadPool());
-  });
+  double fast_s = 0;
+  {
+    bench::PerfPhase perf("distance_matrix_kernel");
+    fast_s = TimeMin([&] {
+      fast = kernel::CondensedEuclideanDistances(emb.rows(),
+                                                 emb.squared_norms(),
+                                                 DefaultThreadPool());
+    });
+  }
   if (fast != oracle) {
     return Fail("distance matrix is not bit-identical to the oracle");
   }

@@ -288,13 +288,18 @@ int main() {
                       "degraded"});
   double peak_qps = 0.0;
   double below_saturation_p99_us = 0.0;
-  for (size_t clients : {1, 2, 4, 8}) {
-    const ClosedLoopResult r = RunClosedLoop(router, mix, clients, seconds);
-    if (r.Qps() > peak_qps) peak_qps = r.Qps();
-    if (clients == 1) below_saturation_p99_us = r.p99_us;
-    closed.AddRow({std::to_string(r.clients), std::to_string(r.completed),
-                   TableWriter::Num(r.Qps(), 0), TableWriter::Num(r.p50_us, 1),
-                   TableWriter::Num(r.p99_us, 1), std::to_string(r.degraded)});
+  {
+    bench::PerfPhase perf("closed_loop_sweep");
+    for (size_t clients : {1, 2, 4, 8}) {
+      const ClosedLoopResult r = RunClosedLoop(router, mix, clients, seconds);
+      if (r.Qps() > peak_qps) peak_qps = r.Qps();
+      if (clients == 1) below_saturation_p99_us = r.p99_us;
+      closed.AddRow({std::to_string(r.clients), std::to_string(r.completed),
+                     TableWriter::Num(r.Qps(), 0),
+                     TableWriter::Num(r.p50_us, 1),
+                     TableWriter::Num(r.p99_us, 1),
+                     std::to_string(r.degraded)});
+    }
   }
   bench::BenchReport::Get().AddTable("router_closed_loop", closed);
   std::printf("closed loop (%0.1f s per point):\n%s\n", seconds,

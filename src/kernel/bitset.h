@@ -1,13 +1,20 @@
 // BitSet: a dense fixed-universe bitmap with word-parallel set algebra.
 //
 // Items are the same dense 32-bit ids as ItemSet, packed 64 per word.
-// Intersection *counting* is a word-wise AND + popcount loop — O(|U|/64)
+// Intersection *counting* is a word-wise AND + popcount — O(|U|/64)
 // regardless of how many items the operands hold — which beats the sorted-
 // vector merge of ItemSet::IntersectionSize once the operands are dense
 // enough (the crossover is measured in DESIGN.md §8 and encoded in
 // ItemSetIndexOptions::words_per_merge_step). The sparse-probe overloads
 // taking an ItemSet cost O(|sparse operand|) and are the cheapest option
 // whenever one side has a materialized bitmap.
+//
+// The word-parallel paths (Count / IntersectionCount / Intersects /
+// IsSubsetOf) route through kernel/simd_dispatch.h, so they run the
+// scalar, AVX2, or AVX-512-VPOPCNTDQ loop the CPU (or OCT_KERNEL_ISA)
+// selected — bit-identical results on every tier. Word storage is
+// cache-line-aligned (util/aligned.h) so the 256/512-bit loads never
+// straddle lines.
 //
 // A BitSet is a scratch/acceleration structure, not a model type: the OCT
 // model keeps ItemSet as the source of truth and kernels convert at the
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "core/item_set.h"
+#include "util/aligned.h"
 
 namespace oct {
 namespace kernel {
@@ -79,6 +87,17 @@ class BitSet {
   /// other ⊆ this, by probing — O(|other|).
   bool ContainsAll(const ItemSet& other) const;
 
+  /// Set bits within [begin, end) — the run-container × bitmap primitive:
+  /// a run's intersection with a bitmap is exactly the bitmap's population
+  /// over the run's interval. O((end-begin)/64).
+  size_t CountRange(ItemId begin, ItemId end) const;
+
+  /// Whether any bit in [begin, end) is set (early exit).
+  bool AnyInRange(ItemId begin, ItemId end) const;
+
+  /// Whether every bit in [begin, end) is set (run ⊆ bitmap).
+  bool AllInRange(ItemId begin, ItemId end) const;
+
   void UnionInPlace(const BitSet& other);
   void IntersectInPlace(const BitSet& other);
   void DifferenceInPlace(const BitSet& other);
@@ -91,11 +110,11 @@ class BitSet {
   }
   bool operator!=(const BitSet& other) const { return !(*this == other); }
 
-  const std::vector<uint64_t>& words() const { return words_; }
+  const util::AlignedWordVec& words() const { return words_; }
 
  private:
   size_t universe_size_ = 0;
-  std::vector<uint64_t> words_;
+  util::AlignedWordVec words_;
 };
 
 }  // namespace kernel

@@ -1,0 +1,390 @@
+#include "kernel/hybrid_set.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oct {
+namespace kernel {
+
+namespace {
+
+inline ItemId RunEnd(const Run& run) { return run.start + run.length; }
+
+std::vector<Run> BuildRuns(const ItemSet& set) {
+  std::vector<Run> runs;
+  for (ItemId id : set) {
+    if (!runs.empty() && RunEnd(runs.back()) == id) {
+      ++runs.back().length;
+    } else {
+      runs.push_back(Run{id, 1});
+    }
+  }
+  return runs;
+}
+
+/// Sorted-array × run-list two-pointer walk. Each run contributes the slice
+/// of `a` that falls inside it; both cursors only move forward.
+size_t ArrayRunIntersectionCount(const ItemSet& a, const std::vector<Run>& runs) {
+  size_t count = 0;
+  auto it = a.begin();
+  for (const Run& run : runs) {
+    it = std::lower_bound(it, a.end(), run.start);
+    if (it == a.end()) break;
+    const auto stop = std::lower_bound(it, a.end(), RunEnd(run));
+    count += static_cast<size_t>(stop - it);
+    it = stop;
+  }
+  return count;
+}
+
+bool ArrayRunIntersects(const ItemSet& a, const std::vector<Run>& runs) {
+  auto it = a.begin();
+  for (const Run& run : runs) {
+    it = std::lower_bound(it, a.end(), run.start);
+    if (it == a.end()) return false;
+    if (*it < RunEnd(run)) return true;
+  }
+  return false;
+}
+
+/// Every item of `a` inside some run — runs are sorted and disjoint, so a
+/// single forward cursor over the run list suffices.
+bool RunsContainAll(const std::vector<Run>& runs, const ItemSet& a) {
+  size_t j = 0;
+  for (ItemId id : a) {
+    while (j < runs.size() && RunEnd(runs[j]) <= id) ++j;
+    if (j == runs.size() || runs[j].start > id) return false;
+  }
+  return true;
+}
+
+size_t RunRunIntersectionCount(const std::vector<Run>& a,
+                               const std::vector<Run>& b) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const ItemId lo = std::max(a[i].start, b[j].start);
+    const ItemId hi = std::min(RunEnd(a[i]), RunEnd(b[j]));
+    if (hi > lo) count += hi - lo;
+    if (RunEnd(a[i]) < RunEnd(b[j])) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool RunRunIntersects(const std::vector<Run>& a, const std::vector<Run>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (std::min(RunEnd(a[i]), RunEnd(b[j])) >
+        std::max(a[i].start, b[j].start)) {
+      return true;
+    }
+    if (RunEnd(a[i]) < RunEnd(b[j])) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+/// a ⊆ b for maximal, sorted, disjoint run lists: every run of `a` must sit
+/// inside a single run of `b` (maximality of b's runs makes spanning two
+/// impossible).
+bool RunRunSubset(const std::vector<Run>& a, const std::vector<Run>& b) {
+  size_t j = 0;
+  for (const Run& run : a) {
+    while (j < b.size() && RunEnd(b[j]) < RunEnd(run)) ++j;
+    if (j == b.size() || b[j].start > run.start) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ContainerKindName(ContainerKind kind) {
+  switch (kind) {
+    case ContainerKind::kArray:
+      return "array";
+    case ContainerKind::kBitmap:
+      return "bitmap";
+    case ContainerKind::kRun:
+      return "run";
+  }
+  return "unknown";
+}
+
+size_t HybridSet::CountRuns(const ItemSet& set) {
+  size_t runs = 0;
+  ItemId next = 0;
+  bool first = true;
+  for (ItemId id : set) {
+    if (first || id != next) ++runs;
+    first = false;
+    next = id + 1;
+  }
+  return runs;
+}
+
+HybridSet HybridSet::BuildAs(const ItemSet& set, size_t universe,
+                             ContainerKind kind) {
+  HybridSet out;
+  out.kind_ = kind;
+  out.universe_ = universe;
+  out.size_ = set.size();
+  switch (kind) {
+    case ContainerKind::kArray:
+      out.array_ = set;
+      break;
+    case ContainerKind::kBitmap:
+      out.bitmap_.Reset(universe);
+      out.bitmap_.AssignFrom(set);
+      break;
+    case ContainerKind::kRun:
+      out.runs_ = BuildRuns(set);
+      break;
+  }
+  return out;
+}
+
+HybridSet HybridSet::Build(const ItemSet& set, size_t universe,
+                           const HybridSetOptions& options) {
+  // Eligibility by the density rules, then smallest representation wins
+  // (ties prefer bitmap, whose operations are word-parallel).
+  const size_t array_bytes = set.size() * sizeof(ItemId);
+  ContainerKind kind = ContainerKind::kArray;
+  size_t best_bytes = array_bytes;
+
+  if (options.allow_run && !set.empty()) {
+    const size_t runs = CountRuns(set);
+    if (runs * options.min_run_length <= set.size()) {
+      const size_t run_bytes = runs * sizeof(Run);
+      if (run_bytes < best_bytes) {
+        kind = ContainerKind::kRun;
+        best_bytes = run_bytes;
+      }
+    }
+  }
+  if (options.allow_bitmap && universe > 0 &&
+      set.size() * 64 * options.bitmap_factor >= universe) {
+    const size_t bitmap_bytes = BitSet::WordsFor(universe) * sizeof(uint64_t);
+    if (bitmap_bytes <= best_bytes) {
+      kind = ContainerKind::kBitmap;
+    }
+  }
+  return BuildAs(set, universe, kind);
+}
+
+HybridSet HybridSet::ConvertTo(ContainerKind kind) const {
+  return BuildAs(ToItemSet(), universe_, kind);
+}
+
+size_t HybridSet::SizeBytes() const {
+  switch (kind_) {
+    case ContainerKind::kArray:
+      return array_.size() * sizeof(ItemId);
+    case ContainerKind::kBitmap:
+      return bitmap_.SizeBytes();
+    case ContainerKind::kRun:
+      return runs_.size() * sizeof(Run);
+  }
+  return 0;
+}
+
+bool HybridSet::Test(ItemId id) const {
+  switch (kind_) {
+    case ContainerKind::kArray:
+      return array_.Contains(id);
+    case ContainerKind::kBitmap:
+      return bitmap_.Test(id);
+    case ContainerKind::kRun: {
+      // First run starting after id; the candidate is its predecessor.
+      auto it = std::upper_bound(
+          runs_.begin(), runs_.end(), id,
+          [](ItemId value, const Run& run) { return value < run.start; });
+      if (it == runs_.begin()) return false;
+      --it;
+      return id < RunEnd(*it);
+    }
+  }
+  return false;
+}
+
+ItemSet HybridSet::ToItemSet() const {
+  switch (kind_) {
+    case ContainerKind::kArray:
+      return array_;
+    case ContainerKind::kBitmap:
+      return bitmap_.ToItemSet();
+    case ContainerKind::kRun: {
+      std::vector<ItemId> out;
+      out.reserve(size_);
+      for (const Run& run : runs_) {
+        for (ItemId id = run.start; id < RunEnd(run); ++id) out.push_back(id);
+      }
+      return ItemSet::FromSorted(std::move(out));
+    }
+  }
+  return ItemSet();
+}
+
+size_t HybridSet::IntersectionCount(const HybridSet& a, const HybridSet& b) {
+  if (a.size_ == 0 || b.size_ == 0) return 0;
+  using K = ContainerKind;
+  // Symmetric: normalize so the pair is dispatched once per combination.
+  if (static_cast<int>(a.kind_) > static_cast<int>(b.kind_)) {
+    return IntersectionCount(b, a);
+  }
+  switch (a.kind_) {
+    case K::kArray:
+      switch (b.kind_) {
+        case K::kArray:
+          return a.array_.IntersectionSize(b.array_);
+        case K::kBitmap:
+          return b.bitmap_.IntersectionCount(a.array_);
+        case K::kRun:
+          return ArrayRunIntersectionCount(a.array_, b.runs_);
+      }
+      break;
+    case K::kBitmap:
+      switch (b.kind_) {
+        case K::kBitmap:
+          OCT_DCHECK_EQ(a.universe_, b.universe_);
+          return a.bitmap_.IntersectionCount(b.bitmap_);
+        case K::kRun: {
+          size_t count = 0;
+          for (const Run& run : b.runs_) {
+            count += a.bitmap_.CountRange(run.start, RunEnd(run));
+          }
+          return count;
+        }
+        default:
+          break;
+      }
+      break;
+    case K::kRun:
+      return RunRunIntersectionCount(a.runs_, b.runs_);
+  }
+  return 0;
+}
+
+bool HybridSet::Intersects(const HybridSet& a, const HybridSet& b) {
+  if (a.size_ == 0 || b.size_ == 0) return false;
+  using K = ContainerKind;
+  if (static_cast<int>(a.kind_) > static_cast<int>(b.kind_)) {
+    return Intersects(b, a);
+  }
+  switch (a.kind_) {
+    case K::kArray:
+      switch (b.kind_) {
+        case K::kArray:
+          return a.array_.Intersects(b.array_);
+        case K::kBitmap:
+          return b.bitmap_.Intersects(a.array_);
+        case K::kRun:
+          return ArrayRunIntersects(a.array_, b.runs_);
+      }
+      break;
+    case K::kBitmap:
+      switch (b.kind_) {
+        case K::kBitmap:
+          OCT_DCHECK_EQ(a.universe_, b.universe_);
+          return a.bitmap_.Intersects(b.bitmap_);
+        case K::kRun:
+          for (const Run& run : b.runs_) {
+            if (a.bitmap_.AnyInRange(run.start, RunEnd(run))) return true;
+          }
+          return false;
+        default:
+          break;
+      }
+      break;
+    case K::kRun:
+      return RunRunIntersects(a.runs_, b.runs_);
+  }
+  return false;
+}
+
+bool HybridSet::IsSubsetOf(const HybridSet& a, const HybridSet& b) {
+  if (a.size_ == 0) return true;
+  if (a.size_ > b.size_) return false;
+  using K = ContainerKind;
+  switch (b.kind_) {
+    case K::kBitmap:
+      switch (a.kind_) {
+        case K::kArray:
+          return b.bitmap_.ContainsAll(a.array_);
+        case K::kBitmap:
+          OCT_DCHECK_EQ(a.universe_, b.universe_);
+          return a.bitmap_.IsSubsetOf(b.bitmap_);
+        case K::kRun:
+          for (const Run& run : a.runs_) {
+            if (run.start >= b.universe_ || RunEnd(run) > b.universe_) {
+              return false;
+            }
+            if (!b.bitmap_.AllInRange(run.start, RunEnd(run))) return false;
+          }
+          return true;
+      }
+      break;
+    case K::kArray:
+      if (a.kind_ == K::kArray) return a.array_.IsSubsetOf(b.array_);
+      break;
+    case K::kRun:
+      switch (a.kind_) {
+        case K::kArray:
+          return RunsContainAll(b.runs_, a.array_);
+        case K::kRun:
+          return RunRunSubset(a.runs_, b.runs_);
+        default:
+          break;
+      }
+      break;
+  }
+  // Remaining combinations (bitmap ⊆ array, bitmap ⊆ run): subset iff the
+  // intersection carries every element of a.
+  return IntersectionCount(a, b) == a.size_;
+}
+
+size_t HybridSet::IntersectionCount(const ItemSet& other) const {
+  switch (kind_) {
+    case ContainerKind::kArray:
+      return array_.IntersectionSize(other);
+    case ContainerKind::kBitmap:
+      return bitmap_.IntersectionCount(other);
+    case ContainerKind::kRun:
+      return ArrayRunIntersectionCount(other, runs_);
+  }
+  return 0;
+}
+
+bool HybridSet::Intersects(const ItemSet& other) const {
+  switch (kind_) {
+    case ContainerKind::kArray:
+      return array_.Intersects(other);
+    case ContainerKind::kBitmap:
+      return bitmap_.Intersects(other);
+    case ContainerKind::kRun:
+      return ArrayRunIntersects(other, runs_);
+  }
+  return false;
+}
+
+bool HybridSet::ContainsAll(const ItemSet& other) const {
+  switch (kind_) {
+    case ContainerKind::kArray:
+      return other.IsSubsetOf(array_);
+    case ContainerKind::kBitmap:
+      return bitmap_.ContainsAll(other);
+    case ContainerKind::kRun:
+      return RunsContainAll(runs_, other);
+  }
+  return false;
+}
+
+}  // namespace kernel
+}  // namespace oct

@@ -1,0 +1,140 @@
+// HybridSet: a Roaring-style adaptive set container. Each set picks the
+// representation its shape makes cheapest —
+//
+//   kArray   the sorted item vector itself (ItemSet). The right answer
+//            for sparse sets: zero materialization cost, galloping merge
+//            intersections, O(log) membership.
+//   kBitmap  a dense fixed-universe BitSet (cache-line-aligned words,
+//            SIMD AND+popcount via kernel/simd_dispatch.h). The right
+//            answer above the density floor where word-parallel beats
+//            the merge (DESIGN.md §8, docs/PERFORMANCE.md).
+//   kRun     sorted (start, length) intervals. The right answer for
+//            clumped ids — category subtrees and preprocessed query
+//            result sets are contiguous ranges far more often than
+//            random — where it compresses |s| items into a handful of
+//            runs and intersections walk intervals, not elements.
+//
+// Promotion is density-based at Build time (thresholds in
+// HybridSetOptions, constants measured in bench/micro_benchmarks) and
+// explicit via ConvertTo, which is the promotion/demotion primitive:
+// every kind round-trips to every other kind losslessly
+// (tests/test_kernel.cc checks all 9 conversions against a brute-force
+// oracle).
+//
+// All cross-kind binary operations (IntersectionCount / Intersects /
+// IsSubsetOf) are exact — always equal to the sorted-merge ItemSet
+// answer — and never materialize a temporary set.
+
+#ifndef OCT_KERNEL_HYBRID_SET_H_
+#define OCT_KERNEL_HYBRID_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/item_set.h"
+#include "kernel/bitset.h"
+
+namespace oct {
+namespace kernel {
+
+enum class ContainerKind : uint8_t { kArray = 0, kBitmap = 1, kRun = 2 };
+
+const char* ContainerKindName(ContainerKind kind);
+
+/// One maximal interval [start, start + length) of consecutive items.
+struct Run {
+  ItemId start;
+  uint32_t length;
+
+  bool operator==(const Run& other) const {
+    return start == other.start && length == other.length;
+  }
+};
+
+/// Promotion thresholds. Defaults measured by the kernel section of
+/// bench/micro_benchmarks; the rationale lives in docs/PERFORMANCE.md.
+struct HybridSetOptions {
+  /// A set is bitmap-worthy when |s| * 64 * bitmap_factor >= universe —
+  /// density at least 1/(64 * bitmap_factor). Mirrors
+  /// ItemSetIndexOptions::materialize_factor.
+  size_t bitmap_factor = 8;
+
+  /// A set is run-worthy when runs * min_run_length <= |s| (average run
+  /// at least min_run_length items): below that, run bookkeeping costs
+  /// more than it saves over the plain array.
+  size_t min_run_length = 4;
+
+  /// Callers with a byte budget (ItemSetIndex) disable bitmap promotion
+  /// per set once the budget is spent; the set falls through to run/array.
+  bool allow_bitmap = true;
+  bool allow_run = true;
+};
+
+class HybridSet {
+ public:
+  /// Empty array container over a zero universe.
+  HybridSet() = default;
+
+  /// Picks the container by the density rules above.
+  static HybridSet Build(const ItemSet& set, size_t universe,
+                         const HybridSetOptions& options = {});
+
+  /// Forces a specific container (tests, ConvertTo, budget overflow).
+  static HybridSet BuildAs(const ItemSet& set, size_t universe,
+                           ContainerKind kind);
+
+  /// Re-representation: promotion (array→bitmap, run→bitmap, …) and
+  /// demotion (bitmap→array, …) — lossless in both directions.
+  HybridSet ConvertTo(ContainerKind kind) const;
+
+  ContainerKind kind() const { return kind_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t universe_size() const { return universe_; }
+
+  /// Heap bytes of the chosen representation (the promotion currency).
+  size_t SizeBytes() const;
+
+  bool Test(ItemId id) const;
+
+  /// Exact round-trip back to the model representation.
+  ItemSet ToItemSet() const;
+
+  /// |a ∩ b|. Universes must match for bitmap operands.
+  static size_t IntersectionCount(const HybridSet& a, const HybridSet& b);
+  static bool Intersects(const HybridSet& a, const HybridSet& b);
+  /// a ⊆ b.
+  static bool IsSubsetOf(const HybridSet& a, const HybridSet& b);
+
+  /// Probe forms against a sorted ItemSet (the non-materialized side).
+  size_t IntersectionCount(const ItemSet& other) const;
+  bool Intersects(const ItemSet& other) const;
+  /// other ⊆ this.
+  bool ContainsAll(const ItemSet& other) const;
+
+  /// The bitmap when kind() == kBitmap, else nullptr — lets existing
+  /// BitSet-probe call sites (router, query merging) use a hybrid index
+  /// unchanged.
+  const BitSet* bitmap() const {
+    return kind_ == ContainerKind::kBitmap ? &bitmap_ : nullptr;
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+  const ItemSet& array() const { return array_; }
+
+  /// Number of maximal runs in `set` (the run-worthiness input).
+  static size_t CountRuns(const ItemSet& set);
+
+ private:
+  ContainerKind kind_ = ContainerKind::kArray;
+  size_t universe_ = 0;
+  size_t size_ = 0;
+  ItemSet array_;          // kArray
+  BitSet bitmap_;          // kBitmap
+  std::vector<Run> runs_;  // kRun
+};
+
+}  // namespace kernel
+}  // namespace oct
+
+#endif  // OCT_KERNEL_HYBRID_SET_H_

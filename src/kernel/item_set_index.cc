@@ -17,6 +17,7 @@ struct RouteCounters {
   obs::Counter* bitset;
   obs::Counter* probe;
   obs::Counter* merge;
+  obs::Counter* run;
 };
 
 const RouteCounters& Counters() {
@@ -24,8 +25,13 @@ const RouteCounters& Counters() {
       obs::MetricsRegistry::Default()->GetCounter("kernel.bitset_hits"),
       obs::MetricsRegistry::Default()->GetCounter("kernel.probe_hits"),
       obs::MetricsRegistry::Default()->GetCounter("kernel.merge_hits"),
+      obs::MetricsRegistry::Default()->GetCounter("kernel.run_hits"),
   };
   return c;
+}
+
+inline bool IsRun(const HybridSet* c) {
+  return c != nullptr && c->kind() == ContainerKind::kRun;
 }
 
 }  // namespace
@@ -47,7 +53,7 @@ ItemSetIndex ItemSetIndex::Build(const OctInput& input,
   }
 
   const size_t n = input.num_sets();
-  index.bitmap_of_.assign(n, -1);
+  index.container_of_.assign(n, -1);
   const size_t bytes_per = BitSet::WordsFor(universe) * sizeof(uint64_t);
   if (options.max_bitmap_bytes > 0 && universe > 0 &&
       options.materialize_factor > 0) {
@@ -68,28 +74,61 @@ ItemSetIndex ItemSetIndex::Build(const OctInput& input,
     });
     for (SetId q : candidates) {
       if (index.bitmap_bytes_ + bytes_per > options.max_bitmap_bytes) break;
-      index.bitmap_of_[q] = static_cast<int32_t>(index.bitmaps_.size());
-      index.bitmaps_.emplace_back(universe);
-      index.bitmaps_.back().SetAll(input.set(q).items);
+      index.container_of_[q] = static_cast<int32_t>(index.containers_.size());
+      index.containers_.push_back(HybridSet::BuildAs(
+          input.set(q).items, universe, ContainerKind::kBitmap));
       index.bitmap_bytes_ += bytes_per;
+      ++index.num_bitmaps_;
     }
   }
+
+  // Sets that missed bitmap promotion (too sparse, or over budget) get a
+  // run container when their items are clumped enough that interval walks
+  // beat element merges.
+  if (options.min_run_length > 0) {
+    for (SetId q = 0; q < n; ++q) {
+      if (index.container_of_[q] >= 0) continue;
+      const ItemSet& items = input.set(q).items;
+      if (items.empty()) continue;
+      if (HybridSet::CountRuns(items) * options.min_run_length >
+          items.size()) {
+        continue;
+      }
+      index.container_of_[q] = static_cast<int32_t>(index.containers_.size());
+      index.containers_.push_back(
+          HybridSet::BuildAs(items, universe, ContainerKind::kRun));
+      ++index.num_run_sets_;
+    }
+  }
+
   static obs::Counter* bitmaps_built =
       obs::MetricsRegistry::Default()->GetCounter("kernel.bitmaps_built");
-  bitmaps_built->Increment(index.bitmaps_.size());
+  static obs::Counter* run_sets_built =
+      obs::MetricsRegistry::Default()->GetCounter("kernel.run_sets_built");
+  bitmaps_built->Increment(index.num_bitmaps_);
+  run_sets_built->Increment(index.num_run_sets_);
   return index;
 }
 
 size_t ItemSetIndex::IntersectionSize(SetId a, SetId b) const {
   const ItemSet& sa = input_->set(a).items;
   const ItemSet& sb = input_->set(b).items;
-  const BitSet* ba = bitmap(a);
-  const BitSet* bb = bitmap(b);
+  const HybridSet* ca = container(a);
+  const HybridSet* cb = container(b);
+  const BitSet* ba = ca == nullptr ? nullptr : ca->bitmap();
+  const BitSet* bb = cb == nullptr ? nullptr : cb->bitmap();
   if (ba != nullptr && bb != nullptr &&
       ba->num_words() <=
           options_.words_per_merge_step * (sa.size() + sb.size())) {
     Counters().bitset->Increment();
     return ba->IntersectionCount(*bb);
+  }
+  // A run container pairs well with anything materialized: run×run is an
+  // interval walk, run×bitmap a CountRange per run — both cheaper than
+  // probing elements one by one.
+  if (ca != nullptr && cb != nullptr && (IsRun(ca) || IsRun(cb))) {
+    Counters().run->Increment();
+    return HybridSet::IntersectionCount(*ca, *cb);
   }
   const bool a_small = sa.size() <= sb.size();
   const ItemSet& small = a_small ? sa : sb;
@@ -107,6 +146,15 @@ size_t ItemSetIndex::IntersectionSize(SetId a, SetId b) const {
     Counters().probe->Increment();
     return small_bm->IntersectionCount(large);
   }
+  // Lone run container against a plain array: two-pointer over the runs.
+  if (IsRun(ca)) {
+    Counters().run->Increment();
+    return ca->IntersectionCount(sb);
+  }
+  if (IsRun(cb)) {
+    Counters().run->Increment();
+    return cb->IntersectionCount(sa);
+  }
   Counters().merge->Increment();
   return sa.IntersectionSize(sb);
 }
@@ -114,13 +162,19 @@ size_t ItemSetIndex::IntersectionSize(SetId a, SetId b) const {
 bool ItemSetIndex::Intersects(SetId a, SetId b) const {
   const ItemSet& sa = input_->set(a).items;
   const ItemSet& sb = input_->set(b).items;
-  const BitSet* ba = bitmap(a);
-  const BitSet* bb = bitmap(b);
+  const HybridSet* ca = container(a);
+  const HybridSet* cb = container(b);
+  const BitSet* ba = ca == nullptr ? nullptr : ca->bitmap();
+  const BitSet* bb = cb == nullptr ? nullptr : cb->bitmap();
   if (ba != nullptr && bb != nullptr &&
       ba->num_words() <=
           options_.words_per_merge_step * (sa.size() + sb.size())) {
     Counters().bitset->Increment();
     return ba->Intersects(*bb);
+  }
+  if (ca != nullptr && cb != nullptr && (IsRun(ca) || IsRun(cb))) {
+    Counters().run->Increment();
+    return HybridSet::Intersects(*ca, *cb);
   }
   const bool a_small = sa.size() <= sb.size();
   const ItemSet& small = a_small ? sa : sb;
@@ -135,6 +189,14 @@ bool ItemSetIndex::Intersects(SetId a, SetId b) const {
     Counters().probe->Increment();
     return small_bm->Intersects(large);
   }
+  if (IsRun(ca)) {
+    Counters().run->Increment();
+    return ca->Intersects(sb);
+  }
+  if (IsRun(cb)) {
+    Counters().run->Increment();
+    return cb->Intersects(sa);
+  }
   Counters().merge->Increment();
   return sa.Intersects(sb);
 }
@@ -143,17 +205,27 @@ bool ItemSetIndex::IsSubsetOf(SetId a, SetId b) const {
   const ItemSet& sa = input_->set(a).items;
   const ItemSet& sb = input_->set(b).items;
   if (sa.size() > sb.size()) return false;
-  const BitSet* ba = bitmap(a);
-  const BitSet* bb = bitmap(b);
+  const HybridSet* ca = container(a);
+  const HybridSet* cb = container(b);
+  const BitSet* ba = ca == nullptr ? nullptr : ca->bitmap();
+  const BitSet* bb = cb == nullptr ? nullptr : cb->bitmap();
   if (ba != nullptr && bb != nullptr &&
       ba->num_words() <=
           options_.words_per_merge_step * (sa.size() + sb.size())) {
     Counters().bitset->Increment();
     return ba->IsSubsetOf(*bb);
   }
+  if (ca != nullptr && cb != nullptr && (IsRun(ca) || IsRun(cb))) {
+    Counters().run->Increment();
+    return HybridSet::IsSubsetOf(*ca, *cb);
+  }
   if (bb != nullptr) {
     Counters().probe->Increment();
     return bb->ContainsAll(sa);
+  }
+  if (IsRun(cb)) {
+    Counters().run->Increment();
+    return cb->ContainsAll(sa);
   }
   Counters().merge->Increment();
   return sa.IsSubsetOf(sb);

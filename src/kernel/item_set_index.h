@@ -9,16 +9,21 @@
 //      one item, so any pairwise scan driven by the inverted lists touches
 //      only pairs with non-empty intersection instead of all O(n^2) pairs.
 //
-//   2. Materialized per-set bitmaps (dense sets only). IntersectionSize /
+//   2. Materialized per-set hybrid containers (kernel/hybrid_set.h):
+//      dense sets get bitmaps, clumped sets get run lists, everything else
+//      stays the plain sorted array of the input. IntersectionSize /
 //      Intersects / IsSubsetOf route to whichever representation is
 //      cheapest per pair:
 //        bitset–bitset   O(|U|/64)        both bitmaps exist and the word
 //                                         count beats the merge estimate
+//        run route       O(runs)-ish      a run container intersects via
+//                                         interval walks (vs bitmap:
+//                                         CountRange per run)
 //        bitmap probe    O(min(|a|,|b|))  one side has a bitmap
 //        sorted merge    O(|a|+|b|)       fallback (galloping on skew,
 //                                         see ItemSet::IntersectionSize)
 //      The routing heuristic and its measured constants are documented in
-//      DESIGN.md §8 "Kernels".
+//      DESIGN.md §8 "Kernels" and docs/PERFORMANCE.md.
 //
 // The index holds a pointer to the input; it must not outlive it, and the
 // input must not change while indexed (OctInput is append-only and frozen
@@ -33,6 +38,7 @@
 
 #include "core/input.h"
 #include "kernel/bitset.h"
+#include "kernel/hybrid_set.h"
 
 namespace oct {
 namespace kernel {
@@ -57,6 +63,13 @@ struct ItemSetIndexOptions {
   /// Upper bound on total bitmap memory; the densest sets win. 0 disables
   /// bitmaps entirely (pure candidate-pruning index).
   size_t max_bitmap_bytes = 64u << 20;
+
+  /// Run-container promotion: a non-bitmap set gets a run container when
+  /// its maximal-run count satisfies runs * min_run_length <= |q| (average
+  /// run of at least min_run_length consecutive items). With the Run
+  /// struct at 8 bytes that also guarantees the run list is smaller than
+  /// the sorted array it replaces. 0 disables run containers.
+  size_t min_run_length = 4;
 };
 
 class ItemSetIndex {
@@ -75,13 +88,22 @@ class ItemSetIndex {
   /// item -> ids of the sets containing it (ascending).
   const std::vector<std::vector<SetId>>& inverted() const { return inverted_; }
 
-  /// The set's bitmap, or nullptr when not materialized.
-  const BitSet* bitmap(SetId q) const {
-    const int32_t slot = bitmap_of_[q];
-    return slot < 0 ? nullptr : &bitmaps_[slot];
+  /// The set's hybrid container, or nullptr when it stays a plain array.
+  const HybridSet* container(SetId q) const {
+    const int32_t slot = container_of_[q];
+    return slot < 0 ? nullptr : &containers_[slot];
   }
 
-  size_t num_bitmaps() const { return bitmaps_.size(); }
+  /// The set's bitmap, or nullptr when not materialized — run and array
+  /// sets have none. Existing probe call sites (router, query merging)
+  /// keep working unchanged on a hybrid index.
+  const BitSet* bitmap(SetId q) const {
+    const HybridSet* c = container(q);
+    return c == nullptr ? nullptr : c->bitmap();
+  }
+
+  size_t num_bitmaps() const { return num_bitmaps_; }
+  size_t num_run_sets() const { return num_run_sets_; }
   size_t bitmap_bytes() const { return bitmap_bytes_; }
 
   /// Per-item strict flags (ItemBound == 1), or nullptr when the input has
@@ -105,9 +127,11 @@ class ItemSetIndex {
   const OctInput* input_ = nullptr;
   ItemSetIndexOptions options_;
   std::vector<std::vector<SetId>> inverted_;
-  /// SetId -> slot in bitmaps_, or -1.
-  std::vector<int32_t> bitmap_of_;
-  std::vector<BitSet> bitmaps_;
+  /// SetId -> slot in containers_, or -1 (plain array set).
+  std::vector<int32_t> container_of_;
+  std::vector<HybridSet> containers_;
+  size_t num_bitmaps_ = 0;
+  size_t num_run_sets_ = 0;
   size_t bitmap_bytes_ = 0;
   /// Per-item ItemBound()==1 flags; empty when no relaxed bounds exist.
   std::vector<char> strict_item_;

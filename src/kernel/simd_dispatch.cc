@@ -1,0 +1,373 @@
+#include "kernel/simd_dispatch.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/perf_counters.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define OCT_KERNEL_X86 1
+#else
+#define OCT_KERNEL_X86 0
+#endif
+
+namespace oct {
+namespace kernel {
+namespace {
+
+// ---- Scalar tier: the oracle every other tier must match ----------------
+
+size_t PopcountScalar(const uint64_t* a, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += std::popcount(a[i]);
+  return count;
+}
+
+size_t AndPopcountScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += std::popcount(a[i] & b[i]);
+  return count;
+}
+
+bool AndAnyScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+bool AndNotNoneScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] & ~b[i]) return false;
+  }
+  return true;
+}
+
+#if OCT_KERNEL_X86
+
+// ---- AVX2 tier ----------------------------------------------------------
+// No vector popcount before AVX-512: use Muła's nibble-LUT scheme — split
+// each byte into nibbles, PSHUFB a 16-entry popcount table, and let PSADBW
+// horizontally sum 8 byte-counts into each 64-bit lane. Safe for any input
+// length because the per-byte partial counts (max 8) never overflow before
+// the SAD collapses them.
+
+__attribute__((target("avx2"))) inline __m256i PopcountBytes256(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low_mask));
+  const __m256i hi = _mm256_shuffle_epi8(
+      lut, _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask));
+  return _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline size_t Reduce256(__m256i acc) {
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+__attribute__((target("avx2")))
+size_t PopcountAvx2(const uint64_t* a, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(acc, PopcountBytes256(v));
+  }
+  size_t count = Reduce256(acc);
+  for (; i < n; ++i) count += std::popcount(a[i]);
+  return count;
+}
+
+__attribute__((target("avx2")))
+size_t AndPopcountAvx2(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    acc = _mm256_add_epi64(acc, PopcountBytes256(v));
+  }
+  size_t count = Reduce256(acc);
+  for (; i < n; ++i) count += std::popcount(a[i] & b[i]);
+  return count;
+}
+
+__attribute__((target("avx2")))
+bool AndAnyAvx2(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // VPTEST: ZF = ((va & vb) == 0); testz returns that ZF.
+    if (!_mm256_testz_si256(va, vb)) return true;
+  }
+  for (; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+__attribute__((target("avx2")))
+bool AndNotNoneAvx2(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // VPTEST: CF = ((~vb & va) == 0); testc returns that CF — exactly
+    // "no bit of a survives outside b" for this block.
+    if (!_mm256_testc_si256(vb, va)) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] & ~b[i]) return false;
+  }
+  return true;
+}
+
+// ---- AVX-512 tier (F + VPOPCNTDQ) ---------------------------------------
+
+// Not _mm512_reduce_add_epi64: GCC's expansion routes through
+// _mm512_undefined_epi32 and trips -Wuninitialized under -Werror builds.
+__attribute__((target("avx512f"))) inline size_t Reduce512(__m512i acc) {
+  uint64_t lanes[8];
+  _mm512_storeu_si512(lanes, acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq")))
+size_t PopcountAvx512(const uint64_t* a, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  size_t count = Reduce512(acc);
+  for (; i < n; ++i) count += std::popcount(a[i]);
+  return count;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq")))
+size_t AndPopcountAvx512(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_and_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  size_t count = Reduce512(acc);
+  for (; i < n; ++i) count += std::popcount(a[i] & b[i]);
+  return count;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq")))
+bool AndAnyAvx512(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (_mm512_test_epi64_mask(_mm512_loadu_si512(a + i),
+                               _mm512_loadu_si512(b + i)) != 0) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq")))
+bool AndNotNoneAvx512(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // ~b & a, then test-against-self: any surviving bit means not-subset.
+    const __m512i rem = _mm512_andnot_si512(_mm512_loadu_si512(b + i),
+                                            _mm512_loadu_si512(a + i));
+    if (_mm512_test_epi64_mask(rem, rem) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] & ~b[i]) return false;
+  }
+  return true;
+}
+
+#endif  // OCT_KERNEL_X86
+
+// ---- Dispatch table -----------------------------------------------------
+
+struct KernelTable {
+  size_t (*popcount)(const uint64_t*, size_t);
+  size_t (*and_popcount)(const uint64_t*, const uint64_t*, size_t);
+  bool (*and_any)(const uint64_t*, const uint64_t*, size_t);
+  bool (*and_not_none)(const uint64_t*, const uint64_t*, size_t);
+};
+
+constexpr KernelTable kScalarTable = {PopcountScalar, AndPopcountScalar,
+                                      AndAnyScalar, AndNotNoneScalar};
+#if OCT_KERNEL_X86
+constexpr KernelTable kAvx2Table = {PopcountAvx2, AndPopcountAvx2,
+                                    AndAnyAvx2, AndNotNoneAvx2};
+constexpr KernelTable kAvx512Table = {PopcountAvx512, AndPopcountAvx512,
+                                      AndAnyAvx512, AndNotNoneAvx512};
+#endif
+
+const KernelTable* TableFor(IsaTier tier) {
+#if OCT_KERNEL_X86
+  switch (tier) {
+    case IsaTier::kAvx512:
+      return &kAvx512Table;
+    case IsaTier::kAvx2:
+      return &kAvx2Table;
+    case IsaTier::kScalar:
+      break;
+  }
+#else
+  (void)tier;
+#endif
+  return &kScalarTable;
+}
+
+// The live table + tier. Relaxed atomics: readers only need to see a
+// consistent pointer, and tiers are only swapped from single-threaded
+// setup (startup resolution or ForceIsaTier in tests).
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<int> g_tier{0};
+
+void PublishGauges(IsaTier tier) {
+  obs::MetricsRegistry::Default()
+      ->GetGauge("kernel.isa_tier",
+                 "active SIMD dispatch tier: 0=scalar 1=avx2 2=avx512")
+      ->Set(static_cast<int64_t>(tier));
+  obs::MetricsRegistry::Default()
+      ->GetGauge("kernel.perf_counters_available",
+                 "1 when perf_event_open works in this environment")
+      ->Set(util::PerfCounters::Supported() ? 1 : 0);
+}
+
+void Install(IsaTier tier) {
+  g_table.store(TableFor(tier), std::memory_order_release);
+  g_tier.store(static_cast<int>(tier), std::memory_order_release);
+  PublishGauges(tier);
+}
+
+IsaTier ResolveStartupTier() {
+  IsaTier tier = HighestSupportedIsaTier();
+  const char* env = std::getenv("OCT_KERNEL_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    const Result<IsaTier> wanted = ParseIsaTier(env);
+    if (!wanted.ok()) {
+      OCT_LOG_WARNING << "OCT_KERNEL_ISA=" << env
+                      << " is not scalar|avx2|avx512; using "
+                      << IsaTierName(tier);
+    } else if (!IsaTierSupported(*wanted)) {
+      OCT_LOG_WARNING << "OCT_KERNEL_ISA=" << env
+                      << " is not supported by this CPU; clamping to "
+                      << IsaTierName(tier);
+    } else {
+      tier = *wanted;
+    }
+  }
+  return tier;
+}
+
+const KernelTable& Table() {
+  const KernelTable* table = g_table.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // First use resolves the startup tier. Races here are benign: every
+    // contender computes the same resolution and installs the same table.
+    Install(ResolveStartupTier());
+    table = g_table.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+}  // namespace
+
+const char* IsaTierName(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Result<IsaTier> ParseIsaTier(const std::string& name) {
+  if (name == "scalar") return IsaTier::kScalar;
+  if (name == "avx2") return IsaTier::kAvx2;
+  if (name == "avx512") return IsaTier::kAvx512;
+  return Status::InvalidArgument("unknown ISA tier: " + name);
+}
+
+bool IsaTierSupported(IsaTier tier) {
+#if OCT_KERNEL_X86
+  switch (tier) {
+    case IsaTier::kScalar:
+      return true;
+    case IsaTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case IsaTier::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+  }
+  return false;
+#else
+  return tier == IsaTier::kScalar;
+#endif
+}
+
+IsaTier HighestSupportedIsaTier() {
+  if (IsaTierSupported(IsaTier::kAvx512)) return IsaTier::kAvx512;
+  if (IsaTierSupported(IsaTier::kAvx2)) return IsaTier::kAvx2;
+  return IsaTier::kScalar;
+}
+
+IsaTier ActiveIsaTier() {
+  Table();  // Ensure resolved.
+  return static_cast<IsaTier>(g_tier.load(std::memory_order_acquire));
+}
+
+Status ForceIsaTier(IsaTier tier) {
+  if (!IsaTierSupported(tier)) {
+    return Status::InvalidArgument(
+        std::string("ISA tier not supported on this CPU: ") +
+        IsaTierName(tier));
+  }
+  Install(tier);
+  return Status::OK();
+}
+
+size_t PopcountWords(const uint64_t* a, size_t n) {
+  return Table().popcount(a, n);
+}
+
+size_t AndPopcountWords(const uint64_t* a, const uint64_t* b, size_t n) {
+  return Table().and_popcount(a, b, n);
+}
+
+bool AndAnyWords(const uint64_t* a, const uint64_t* b, size_t n) {
+  return Table().and_any(a, b, n);
+}
+
+bool AndNotNoneWords(const uint64_t* a, const uint64_t* b, size_t n) {
+  return Table().and_not_none(a, b, n);
+}
+
+}  // namespace kernel
+}  // namespace oct

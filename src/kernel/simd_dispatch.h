@@ -1,0 +1,85 @@
+// Runtime-dispatched word-array primitives: the four loops every bitmap
+// operation in the kernel layer bottoms out in, compiled once per ISA tier
+// and selected once at startup from CPUID.
+//
+// Tiers:
+//   kScalar   portable C++ (std::popcount); the semantic oracle — every
+//             other tier must be bit-identical to it (tests/test_kernel.cc
+//             forces each tier and re-runs the property suite)
+//   kAvx2     256-bit AND/OR/ANDNOT + the Muła nibble-LUT popcount
+//             (PSHUFB + PSADBW accumulation; AVX2 has no vector popcount)
+//   kAvx512   512-bit lanes with the VPOPCNTDQ vector popcount
+//
+// Selection: the highest tier the CPU supports wins, resolved exactly once
+// (first use) via __builtin_cpu_supports. The environment variable
+// OCT_KERNEL_ISA=scalar|avx2|avx512 caps or pins the tier for testing and
+// triage; asking for a tier the CPU lacks clamps down to the highest
+// supported one with a warning (so a pinned CI matrix leg degrades loudly,
+// never crashes on SIGILL). Tests can swap tiers in-process with
+// ForceIsaTier.
+//
+// The active tier and perf-counter availability are published as gauges
+// (`kernel.isa_tier`, `kernel.perf_counters_available`) so /varz and bench
+// reports show which path a binary actually runs — see docs/PERFORMANCE.md.
+//
+// All entry points take unaligned pointers (the SIMD paths use unaligned
+// loads; BitSet's cache-line-aligned storage makes those effectively
+// aligned) and any word count, handling the tail scalar.
+
+#ifndef OCT_KERNEL_SIMD_DISPATCH_H_
+#define OCT_KERNEL_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace oct {
+namespace kernel {
+
+enum class IsaTier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,  // AVX-512F + VPOPCNTDQ.
+};
+
+/// "scalar" / "avx2" / "avx512".
+const char* IsaTierName(IsaTier tier);
+
+/// Parses an OCT_KERNEL_ISA value; InvalidArgument on anything else.
+Result<IsaTier> ParseIsaTier(const std::string& name);
+
+/// Whether this CPU can run the tier (CPUID; kScalar is always true).
+bool IsaTierSupported(IsaTier tier);
+
+/// The best tier the CPU supports.
+IsaTier HighestSupportedIsaTier();
+
+/// The tier the dispatch table currently routes to. First call resolves:
+/// highest supported, capped/pinned by OCT_KERNEL_ISA when set (clamped to
+/// supported, with a warning), and publishes the kernel.isa_tier gauge.
+IsaTier ActiveIsaTier();
+
+/// Swaps the dispatch table to `tier` (tests and benches). Fails with
+/// InvalidArgument when the CPU does not support it; on success returns OK
+/// and subsequent calls route to the new tier. Not thread-safe against
+/// concurrent kernel calls — force tiers only from single-threaded setup.
+Status ForceIsaTier(IsaTier tier);
+
+/// popcount(a[0..n)).
+size_t PopcountWords(const uint64_t* a, size_t n);
+
+/// popcount(a & b) over n words — the intersection-count primitive.
+size_t AndPopcountWords(const uint64_t* a, const uint64_t* b, size_t n);
+
+/// Whether any word of a & b is non-zero (early exit).
+bool AndAnyWords(const uint64_t* a, const uint64_t* b, size_t n);
+
+/// Whether a & ~b == 0 over n words — the subset primitive (a ⊆ b).
+bool AndNotNoneWords(const uint64_t* a, const uint64_t* b, size_t n);
+
+}  // namespace kernel
+}  // namespace oct
+
+#endif  // OCT_KERNEL_SIMD_DISPATCH_H_

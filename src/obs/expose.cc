@@ -20,6 +20,7 @@
 #include "fault/failpoint.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "util/perf_counters.h"
 
 namespace oct {
 namespace obs {
@@ -549,6 +550,12 @@ std::string ExpositionServer::RespondTo(const HttpRequest& request) const {
     w.Key("assertions").Bool(true);
 #endif
     w.Key("failpoints").Bool(OCT_FAILPOINTS_ENABLED != 0);
+    // Whether perf_event_open works here — tells an operator at a glance
+    // if the bench snapshots from this machine carry hardware counters.
+    w.Key("perf_counters").Bool(util::PerfCounters::Supported());
+    for (const auto& [key, json] : options_.build_info) {
+      w.Key(key).Raw(json);
+    }
     w.EndObject();
     w.Key("uptime_seconds")
         .Double(static_cast<double>(TraceNowNanos() - start_ns_) * 1e-9);

@@ -5,6 +5,7 @@
 
 #include "data/datasets.h"
 #include "delta/maintainer.h"
+#include "kernel/simd_dispatch.h"
 #include "obs/export.h"
 #include "router/query_parse.h"
 #include "router/router.h"
@@ -47,6 +48,14 @@ ServingExposition::ServingExposition(const TreeStore* store,
        [this](const obs::HttpRequest& request) {
          return HandleStoreRecord(request);
        }});
+  // Which SIMD tier the kernels dispatched to — build-level fact for
+  // /statusz (obs stays kernel-free; the serving stack sits above both).
+  // Resolving the tier here also publishes the kernel.isa_tier and
+  // kernel.perf_counters_available gauges for /varz before first scrape.
+  server_options.build_info.push_back(
+      {"kernel_isa",
+       "\"" + std::string(kernel::IsaTierName(kernel::ActiveIsaTier())) +
+           "\""});
   server_options.health = [this] { return Health(); };
   server_options.status_json = [this] { return StatusJson(); };
   server_ = std::make_unique<obs::ExpositionServer>(std::move(server_options));

@@ -1,0 +1,141 @@
+#include "util/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <initializer_list>
+#endif
+
+namespace oct {
+namespace util {
+
+#if defined(__linux__)
+
+namespace {
+
+/// perf_event_open has no glibc wrapper.
+int PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                  unsigned long flags) {
+  return static_cast<int>(
+      ::syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+int OpenCounter(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // User-space work is what the benches measure.
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // Threads the pool spawns later count too.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // This process, any CPU.
+  return PerfEventOpen(&attr, 0, -1, -1, 0);
+}
+
+/// Multiplex-scaled value of one counter fd; 0 when fd < 0 or unreadable.
+uint64_t ReadScaled(int fd) {
+  if (fd < 0) return 0;
+  // value, time_enabled, time_running (per read_format above).
+  uint64_t buf[3] = {0, 0, 0};
+  if (::read(fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+    return 0;
+  }
+  if (buf[2] == 0) return 0;  // Never scheduled onto the PMU.
+  if (buf[1] == buf[2]) return buf[0];
+  const double scale =
+      static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+  return static_cast<uint64_t>(static_cast<double>(buf[0]) * scale);
+}
+
+void Ioctl(int fd, unsigned long request) {
+  if (fd >= 0) ::ioctl(fd, request, 0);
+}
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  cycles_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (cycles_fd_ < 0) return;  // Denied: stay a no-op, open nothing else.
+  available_ = true;
+  instructions_fd_ =
+      OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  llc_ref_fd_ =
+      OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES);
+  llc_miss_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+}
+
+PerfCounters::~PerfCounters() {
+  CloseFd(cycles_fd_);
+  CloseFd(instructions_fd_);
+  CloseFd(llc_ref_fd_);
+  CloseFd(llc_miss_fd_);
+}
+
+bool PerfCounters::Supported() {
+  static const bool supported = [] {
+    const int fd = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+void PerfCounters::Start() {
+  if (!available_) return;
+  for (const int fd :
+       {cycles_fd_, instructions_fd_, llc_ref_fd_, llc_miss_fd_}) {
+    Ioctl(fd, PERF_EVENT_IOC_RESET);
+    Ioctl(fd, PERF_EVENT_IOC_ENABLE);
+  }
+}
+
+PerfSample PerfCounters::Stop() {
+  if (!available_) return PerfSample{};
+  for (const int fd :
+       {cycles_fd_, instructions_fd_, llc_ref_fd_, llc_miss_fd_}) {
+    Ioctl(fd, PERF_EVENT_IOC_DISABLE);
+  }
+  return Read();
+}
+
+PerfSample PerfCounters::Read() const {
+  PerfSample sample;
+  if (!available_) return sample;
+  sample.available = true;
+  sample.cycles = ReadScaled(cycles_fd_);
+  sample.instructions = ReadScaled(instructions_fd_);
+  sample.has_llc = llc_ref_fd_ >= 0 || llc_miss_fd_ >= 0;
+  sample.llc_references = ReadScaled(llc_ref_fd_);
+  sample.llc_misses = ReadScaled(llc_miss_fd_);
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+bool PerfCounters::Supported() { return false; }
+void PerfCounters::Start() {}
+PerfSample PerfCounters::Stop() { return PerfSample{}; }
+PerfSample PerfCounters::Read() const { return PerfSample{}; }
+
+#endif  // __linux__
+
+}  // namespace util
+}  // namespace oct

@@ -1,0 +1,100 @@
+// PerfCounters: a thin, failure-tolerant wrapper over perf_event_open(2)
+// for the four hardware counters the bench gates care about — cycles,
+// retired instructions, last-level-cache references and misses — so
+// "fast as the hardware allows" is measured (IPC, LLC miss rate), not
+// asserted from wall time alone.
+//
+// Designed to degrade, never to gate availability:
+//   * perf_event_open is often denied (unprivileged containers, ENOENT
+//     when the kernel has no PMU, EACCES under perf_event_paranoid >= 3,
+//     non-Linux builds). Every failure mode yields available() == false
+//     and Start/Stop become no-ops returning an empty PerfSample with
+//     available == false — callers emit the explicit "perf_unavailable"
+//     marker instead of fake zeros (bench/bench_util.h does this for
+//     every OCT_BENCH_JSON report).
+//   * Counters are opened one fd each (no group): on machines whose PMU
+//     exposes cycles but not LLC events, the sample carries what exists
+//     and has_llc says whether the cache fields mean anything.
+//   * Multiplexing is compensated: reads use TOTAL_TIME_ENABLED /
+//     TOTAL_TIME_RUNNING scaling, so samples stay comparable when the
+//     kernel rotates more events than the PMU has slots.
+//
+// Counters measure this process (all threads started after open inherit),
+// user space only. One PerfCounters per measured region; Start/Stop pairs
+// can repeat (each Start resets).
+
+#ifndef OCT_UTIL_PERF_COUNTERS_H_
+#define OCT_UTIL_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace oct {
+namespace util {
+
+/// One reading. Values are multiplex-scaled estimates (exact when the PMU
+/// never rotated the events out).
+struct PerfSample {
+  /// False when perf_event_open failed: every field is zero and the report
+  /// should say "perf_unavailable" rather than pretend.
+  bool available = false;
+  /// Whether the LLC fields were measurable (PMUs without cache events
+  /// still report cycles/instructions).
+  bool has_llc = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_references = 0;
+  uint64_t llc_misses = 0;
+
+  /// Instructions per cycle; 0 when unavailable.
+  double Ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  /// LLC misses / references; 0 when unavailable or no references.
+  double LlcMissRate() const {
+    return llc_references == 0 ? 0.0
+                               : static_cast<double>(llc_misses) /
+                                     static_cast<double>(llc_references);
+  }
+};
+
+class PerfCounters {
+ public:
+  /// Opens the counters (disabled). available() reports the outcome.
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// Whether perf_event_open works at all in this environment (one probe
+  /// per process, cached). False in most CI containers.
+  static bool Supported();
+
+  /// At least the cycles counter opened.
+  bool available() const { return available_; }
+
+  /// Resets and enables the counters. No-op when unavailable.
+  void Start();
+
+  /// Disables the counters and returns the reading since Start(). Returns
+  /// a sample with available == false when the counters never opened.
+  PerfSample Stop();
+
+  /// Reads without disabling (mid-region probe).
+  PerfSample Read() const;
+
+ private:
+  // One fd per event, -1 when that event failed to open.
+  int cycles_fd_ = -1;
+  int instructions_fd_ = -1;
+  int llc_ref_fd_ = -1;
+  int llc_miss_fd_ = -1;
+  bool available_ = false;
+};
+
+}  // namespace util
+}  // namespace oct
+
+#endif  // OCT_UTIL_PERF_COUNTERS_H_

@@ -865,11 +865,12 @@ TEST_F(RouterTest, ExpositionServesRouteEndpoint) {
                 .find("400"),
             std::string::npos);
 
-  // /statusz carries the router block; /healthz notes the running router.
-  EXPECT_NE(exposition.server()
-                ->HandleRequest("GET /statusz HTTP/1.1\r\n\r\n")
-                .find("\"router\""),
-            std::string::npos);
+  // /statusz carries the router block and the active kernel ISA tier;
+  // /healthz notes the running router.
+  const std::string statusz =
+      exposition.server()->HandleRequest("GET /statusz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(statusz.find("\"router\""), std::string::npos);
+  EXPECT_NE(statusz.find("\"kernel_isa\""), std::string::npos);
   const obs::HealthReport health = exposition.Health();
   EXPECT_TRUE(health.healthy);
   EXPECT_NE(health.detail.find("router running"), std::string::npos);

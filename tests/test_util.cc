@@ -1,16 +1,21 @@
 // Unit tests for the util module: Status/Result, Rng/Zipf, ThreadPool,
-// TableWriter, Timer, logging, string helpers.
+// TableWriter, Timer, logging, string helpers, aligned allocation, and the
+// perf_event_open wrapper's graceful degradation.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <thread>
+#include <vector>
 
+#include "util/aligned.h"
 #include "util/crc32.h"
 #include "util/logging.h"
+#include "util/perf_counters.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -386,6 +391,62 @@ TEST(Logging, MacroComposesWithUnbracedIfElse) {
     took_else = true;
   EXPECT_TRUE(took_else);
   internal::SetLogLevel(saved);
+}
+
+TEST(Aligned, WordVectorIsCacheLineAligned) {
+  for (const size_t n : {1u, 7u, 64u, 1000u}) {
+    util::AlignedWordVec v(n, 0);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % util::kCacheLineBytes,
+              0u)
+        << "n=" << n;
+  }
+  // Vector semantics survive the custom allocator (copy, compare, grow).
+  util::AlignedWordVec a = {1, 2, 3};
+  util::AlignedWordVec b = a;
+  EXPECT_EQ(a, b);
+  b.push_back(4);
+  EXPECT_NE(a, b);
+}
+
+// The contract under test is graceful degradation: whether or not this
+// environment grants perf_event_open (most CI containers do not), the
+// wrapper must never crash, and an unavailable counter must yield an
+// explicitly-unavailable sample with zeroed fields — not garbage.
+TEST(PerfCounters, DegradesGracefullyWhenUnavailable) {
+  util::PerfCounters counters;
+  EXPECT_EQ(counters.available(), util::PerfCounters::Supported());
+  counters.Start();
+  // Burn a little CPU so an available PMU has something to count.
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 100000; ++i) sink = sink + i * i;
+  const util::PerfSample sample = counters.Stop();
+  EXPECT_EQ(sample.available, counters.available());
+  if (sample.available) {
+    EXPECT_GT(sample.cycles, 0u);
+    EXPECT_GE(sample.Ipc(), 0.0);
+  } else {
+    EXPECT_EQ(sample.cycles, 0u);
+    EXPECT_EQ(sample.instructions, 0u);
+    EXPECT_EQ(sample.llc_references, 0u);
+    EXPECT_EQ(sample.llc_misses, 0u);
+    EXPECT_EQ(sample.Ipc(), 0.0);
+    EXPECT_EQ(sample.LlcMissRate(), 0.0);
+  }
+  // Start/Stop cycles repeat without leaking or crashing.
+  counters.Start();
+  const util::PerfSample again = counters.Stop();
+  EXPECT_EQ(again.available, counters.available());
+  // Read() mid-region is safe too.
+  counters.Start();
+  (void)counters.Read();
+  (void)counters.Stop();
+}
+
+TEST(PerfCounters, EmptySampleDerivedRatesAreZeroNotNan) {
+  util::PerfSample empty;
+  EXPECT_FALSE(empty.available);
+  EXPECT_EQ(empty.Ipc(), 0.0);
+  EXPECT_EQ(empty.LlcMissRate(), 0.0);
 }
 
 }  // namespace

@@ -28,6 +28,17 @@ benches while the full cross-run diff stays advisory:
   $ tools/bench_diff.py bench/history/baseline.json BENCH_2026-08-06.json
   $ tools/bench_diff.py --threshold 0.30 old.json new.json
   $ tools/bench_diff.py --only kernel_speedup base.json new.json
+
+Hardware counters: reports written since the perf_counters integration
+carry a "perf" object ({"available": false, "marker": "perf_unavailable"}
+or per-phase cycles/instructions/IPC). When both sides expose IPC for a
+phase, the diff prints an ADVISORY ipc table — an IPC drop often explains
+a wall-time regression (more stalls, worse cache behavior) but it never
+affects the exit status: counters are absent on locked-down runners and
+IPC is not comparable across machines. --require-perf hard-fails (exit 1)
+when any compared run's report lacks the "perf" object entirely, which is
+how CI keeps the counter plumbing from silently rotting; the explicit
+perf_unavailable marker satisfies the check.
 """
 
 import argparse
@@ -91,6 +102,34 @@ def flatten(runs):
     return flat
 
 
+def ipc_series(report):
+    """Extracts {phase_name: ipc} from a report's "perf" object.
+
+    Returns {} when the report predates perf integration or counters were
+    unavailable on the machine that produced it.
+    """
+    perf = report.get("perf")
+    if not isinstance(perf, dict) or not perf.get("available"):
+        return {}
+    series = {}
+    process = perf.get("process")
+    if isinstance(process, dict) and "ipc" in process:
+        series["process"] = process["ipc"]
+    for name, sample in (perf.get("phases", {}) or {}).items():
+        if isinstance(sample, dict) and "ipc" in sample:
+            series[name] = sample["ipc"]
+    return series
+
+
+def flatten_ipc(runs):
+    """{run/phase: ipc} across every run in a snapshot."""
+    flat = {}
+    for run_name, report in runs.items():
+        for phase, ipc in ipc_series(report).items():
+            flat[f"{run_name}/ipc:{phase}"] = ipc
+    return flat
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Diff two bench snapshots; non-zero exit on regression.")
@@ -107,16 +146,37 @@ def main(argv):
                         help="compare only series whose run/series name "
                              "contains SUBSTRING (repeatable; any match "
                              "keeps the series)")
+    parser.add_argument("--require-perf", action="store_true",
+                        help="fail when any compared run in the CURRENT "
+                             "snapshot lacks a \"perf\" object (the "
+                             "perf_unavailable marker satisfies this)")
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
 
-    base = flatten(load_runs(args.baseline))
-    cur = flatten(load_runs(args.current))
+    base_runs = load_runs(args.baseline)
+    cur_runs = load_runs(args.current)
+    base = flatten(base_runs)
+    cur = flatten(cur_runs)
     if args.only:
         keep = lambda name: any(sub in name for sub in args.only)
         base = {k: v for k, v in base.items() if keep(k)}
         cur = {k: v for k, v in cur.items() if keep(k)}
+
+    if args.require_perf:
+        # A run is covered when its name (with a trailing "/" so --only
+        # substrings written against "run/series" still match) is selected.
+        selected = [name for name in cur_runs
+                    if not args.only
+                    or any(sub in f"{name}/" for sub in args.only)]
+        missing = [name for name in selected
+                   if not isinstance(cur_runs[name].get("perf"), dict)]
+        if missing:
+            print("bench_diff: --require-perf: no \"perf\" object in "
+                  f"run(s): {', '.join(sorted(missing))} — the bench "
+                  "binary predates perf_counters or bench_util was "
+                  "bypassed", file=sys.stderr)
+            return 1
     if not base:
         what = " matching --only" if args.only else ""
         print(f"bench_diff: no time series{what} in {args.baseline}",
@@ -153,6 +213,27 @@ def main(argv):
     for name, b, c, delta, verdict in rows:
         print(f"{name:<{name_width}} {fmt_ms(b)} {fmt_ms(c)} "
               f"{fmt_pct(delta)}  {verdict}")
+
+    base_ipc = flatten_ipc(base_runs)
+    cur_ipc = flatten_ipc(cur_runs)
+    if args.only:
+        keep = lambda name: any(sub in name for sub in args.only)
+        base_ipc = {k: v for k, v in base_ipc.items() if keep(k)}
+        cur_ipc = {k: v for k, v in cur_ipc.items() if keep(k)}
+    shared_ipc = sorted(set(base_ipc) & set(cur_ipc))
+    if shared_ipc:
+        # Advisory only: IPC shifts explain wall-time moves (front-end
+        # stalls, cache misses) but never change the exit status.
+        width = max(len(n) for n in shared_ipc)
+        print(f"\nadvisory IPC (never gates):")
+        print(f"{'phase':<{width}} {'base ipc':>10} {'current ipc':>12} "
+              f"{'delta':>10}")
+        for name in shared_ipc:
+            b, c = base_ipc[name], cur_ipc[name]
+            delta = (c - b) / b if b > 0 else 0.0
+            note = "  <- ipc dropped" if delta < -args.threshold else ""
+            print(f"{name:<{width}} {b:>10.3f} {c:>12.3f} "
+                  f"{delta * 100:+9.1f}%{note}")
 
     if regressions:
         print(f"\n{len(regressions)} series regressed beyond "

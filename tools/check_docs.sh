@@ -7,12 +7,35 @@
 # links (http/https/mailto) and pure in-page anchors (#...) are skipped —
 # this is a filesystem check, not a network crawler. A target's trailing
 # "#anchor" is stripped before the existence check. Exits non-zero listing
-# every broken link.
+# every broken link. Also asserts the required documentation set exists —
+# a doc renamed or dropped without updating this list fails CI here.
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
+
+# The documentation contract: these files must exist at these paths.
+required_docs=(
+  README.md
+  DESIGN.md
+  EXPERIMENTS.md
+  ROADMAP.md
+  docs/ARCHITECTURE.md
+  docs/BENCHMARKING.md
+  docs/PERFORMANCE.md
+)
+missing=0
+for doc in "${required_docs[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "MISSING required doc: $doc"
+    missing=$((missing + 1))
+  fi
+done
+if [ "$missing" -gt 0 ]; then
+  echo "check_docs: $missing required doc(s) missing."
+  exit 1
+fi
 
 if command -v git >/dev/null 2>&1 && git rev-parse --git-dir >/dev/null 2>&1; then
   mapfile -t md_files < <(git ls-files '*.md')

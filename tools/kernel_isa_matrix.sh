@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the kernel test suite once per SIMD tier the host CPU supports,
+# forcing each tier with OCT_KERNEL_ISA so the bit-identity tests in
+# test_kernel exercise that code path's dispatch entry points end to end:
+#
+#   $ tools/kernel_isa_matrix.sh             # build dir: build
+#   $ tools/kernel_isa_matrix.sh my-build    # custom build dir
+#
+# Tier support is read from /proc/cpuinfo flags (avx2 for the AVX2 tier,
+# avx512vl+avx512_vpopcntdq for the AVX-512 tier); unsupported tiers are
+# skipped with a notice rather than failed, so the script is safe on any
+# runner. The scalar tier always runs — it is the oracle every SIMD path
+# must match. Requires test_kernel to be built (cmake --build <dir>).
+#
+# Exit status: non-zero when any *supported* tier's tests fail.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+if [ ! -f "$BUILD_DIR/CTestTestfile.cmake" ]; then
+  echo "missing $BUILD_DIR -- configure and build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S $REPO_ROOT && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+cpu_flags=""
+if [ -r /proc/cpuinfo ]; then
+  cpu_flags="$(grep -m1 '^flags' /proc/cpuinfo || true)"
+fi
+
+has_flag() {
+  case " $cpu_flags " in
+    *" $1 "*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+tier_supported() {
+  case "$1" in
+    scalar) return 0 ;;
+    avx2)   has_flag avx2 ;;
+    avx512) has_flag avx512vl && has_flag avx512_vpopcntdq ;;
+    *)      return 1 ;;
+  esac
+}
+
+ran=0
+failed=0
+for tier in scalar avx2 avx512; do
+  if ! tier_supported "$tier"; then
+    echo "== $tier: SKIPPED (cpu lacks the required flags) =="
+    continue
+  fi
+  echo "== $tier =="
+  ran=$((ran + 1))
+  if ! (cd "$BUILD_DIR" && \
+        OCT_KERNEL_ISA="$tier" ctest -R '^test_kernel$' --output-on-failure); then
+    echo "kernel_isa_matrix: tier $tier FAILED" >&2
+    failed=$((failed + 1))
+  fi
+done
+
+if [ "$failed" -gt 0 ]; then
+  echo "kernel_isa_matrix: $failed of $ran supported tier(s) failed." >&2
+  exit 1
+fi
+echo "kernel_isa_matrix: all $ran supported tier(s) passed."
