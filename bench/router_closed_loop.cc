@@ -9,6 +9,12 @@
 //      Submit() call took*. Past saturation the router must shed (bounded
 //      queue, kResourceExhausted), never stall the submitting thread —
 //      that property is a hard failure, not a printout.
+//   3. Tracing overhead — the always-on trace-context propagation cost
+//      (mint + scope install + inactive spans + no-op finish) measured
+//      directly in ns/request, plus closed-loop means with and without a
+//      TailSampler installed. The propagation cost exceeding 3% of the
+//      measured mean route latency is a hard failure: request tracing must
+//      be cheap enough to leave on everywhere.
 //
 // Before any load, every ranking is checked against the serial single-query
 // oracle (RouteSerial) on >= 1000 sampled queries; any divergence is a hard
@@ -37,6 +43,10 @@
 #include "data/datasets.h"
 #include "data/query_log.h"
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/tail_sampler.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "router/router.h"
 #include "serve/rebuild_scheduler.h"
 #include "serve/serve_stats.h"
@@ -108,12 +118,34 @@ struct ClosedLoopResult {
   size_t clients = 0;
   uint64_t completed = 0;
   double seconds = 0.0;
+  double mean_us = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
   uint64_t degraded = 0;
 
   double Qps() const { return seconds > 0 ? completed / seconds : 0; }
 };
+
+/// The cost a request pays for tracing even when nothing goes wrong: mint a
+/// context at ingress, install it on the worker, open/close a span, finish
+/// the trace. With no TailSampler installed every step is the no-op path —
+/// the price of leaving propagation on unconditionally. With one installed
+/// it is the record-then-discard path (the common case under tail
+/// sampling: the request was fine, its pending spans are dropped).
+double MeasurePropagationNs(size_t iters) {
+  Timer t;
+  for (size_t i = 0; i < iters; ++i) {
+    const obs::TraceContext ctx = obs::StartRequestTrace(/*deadline_ns=*/0);
+    {
+      obs::TraceContextScope scope(ctx);
+      OCT_SPAN("bench/route");
+    }
+    obs::TraceFinish fin;
+    fin.total_us = 1.0;  // Fast request: the discard verdict.
+    obs::FinishRequestTrace(ctx, fin);
+  }
+  return t.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+}
 
 ClosedLoopResult RunClosedLoop(router::Router& router, const QueryMix& mix,
                                size_t clients, double seconds) {
@@ -163,6 +195,9 @@ ClosedLoopResult RunClosedLoop(router::Router& router, const QueryMix& mix,
   for (double us : all) route_us->Record(us);
   std::sort(all.begin(), all.end());
   if (!all.empty()) {
+    double sum = 0.0;
+    for (double us : all) sum += us;
+    result.mean_us = sum / static_cast<double>(all.size());
     result.p50_us = all[all.size() / 2];
     result.p99_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
   }
@@ -288,12 +323,16 @@ int main() {
                       "degraded"});
   double peak_qps = 0.0;
   double below_saturation_p99_us = 0.0;
+  double route_mean_us = 0.0;
   {
     bench::PerfPhase perf("closed_loop_sweep");
     for (size_t clients : {1, 2, 4, 8}) {
       const ClosedLoopResult r = RunClosedLoop(router, mix, clients, seconds);
       if (r.Qps() > peak_qps) peak_qps = r.Qps();
-      if (clients == 1) below_saturation_p99_us = r.p99_us;
+      if (clients == 1) {
+        below_saturation_p99_us = r.p99_us;
+        route_mean_us = r.mean_us;
+      }
       closed.AddRow({std::to_string(r.clients), std::to_string(r.completed),
                      TableWriter::Num(r.Qps(), 0),
                      TableWriter::Num(r.p50_us, 1),
@@ -327,7 +366,53 @@ int main() {
               open.ToAligned().c_str());
   std::printf("router stats: %s\n",
               router.stats().Snapshot().ToString().c_str());
+
+  // --- Tracing overhead: propagation microbench + sampled closed loop. ---
+  // The gate is on the *always-on* cost (no sampler installed): that is
+  // what every request pays forever. The sampled numbers are informational
+  // — tail sampling is the record-then-discard path and its cost shows up
+  // honestly in the closed-loop mean delta.
+  double propagation_ns = 0.0;
+  double overhead_pct = 0.0;
+  {
+    bench::PerfPhase perf("tracing_overhead");
+    const size_t iters = 200000;
+    propagation_ns = MeasurePropagationNs(iters);
+    obs::SlowLog slow_log(64);
+    obs::TailSampler sampler;
+    obs::TailSampler::InstallGlobal(&sampler);
+    obs::SlowLog::InstallGlobal(&slow_log);
+    const double sampled_ns = MeasurePropagationNs(iters);
+    const ClosedLoopResult sampled_run =
+        RunClosedLoop(router, mix, /*clients=*/2, seconds);
+    obs::TailSampler::InstallGlobal(nullptr);
+    obs::SlowLog::InstallGlobal(nullptr);
+    const ClosedLoopResult plain_run =
+        RunClosedLoop(router, mix, /*clients=*/2, seconds);
+
+    overhead_pct = route_mean_us > 0
+                       ? 100.0 * (propagation_ns * 1e-3) / route_mean_us
+                       : 0.0;
+    TableWriter tracing({"mode", "ns/request", "closed-loop mean us"});
+    tracing.AddRow({"unsampled", TableWriter::Num(propagation_ns, 1),
+                    TableWriter::Num(plain_run.mean_us, 1)});
+    tracing.AddRow({"tail-sampled", TableWriter::Num(sampled_ns, 1),
+                    TableWriter::Num(sampled_run.mean_us, 1)});
+    bench::BenchReport::Get().AddTable("router_tracing_overhead", tracing);
+    std::printf("tracing overhead:\n%s\n", tracing.ToAligned().c_str());
+    std::printf("propagation %.1f ns/request = %.2f%% of mean route latency "
+                "(%.1f us)\n\n",
+                propagation_ns, overhead_pct, route_mean_us);
+  }
   router.Stop();
+
+  // --- Hard gate: always-on context propagation must stay in the noise. --
+  if (overhead_pct > 3.0) {
+    std::printf("FAIL: trace-context propagation costs %.2f%% of route "
+                "latency (%.1f ns vs %.1f us mean); limit is 3%%\n",
+                overhead_pct, propagation_ns, route_mean_us);
+    return 1;
+  }
 
   // --- Hard gate 2: past saturation the router sheds, it never stalls the
   // submitter. A Submit() that blocked for ~a second means the bounded

@@ -60,7 +60,8 @@ int main() {
   serve::RebuildScheduler scheduler(&store, &stats, &ds, sim, policy);
 
   // Optional exposition endpoint: /metrics, /varz, /healthz, /tracez,
-  // /statusz. The span ring feeds /tracez with the most recent spans;
+  // /slowz, /sloz, /statusz. The span ring feeds /tracez with the most
+  // recent spans; tail sampling retains bad /route requests on /slowz;
   // static storage so it outlives every thread that might record into it.
   static obs::SpanRing span_ring(4096);
   serve::ExpositionOptions expose_options;
@@ -118,7 +119,8 @@ int main() {
     }
     if (exposition.running()) {
       std::printf("exposition serving on http://127.0.0.1:%d "
-                  "(/metrics /varz /healthz /tracez /statusz /route)\n\n",
+                  "(/metrics /varz /healthz /tracez /slowz /sloz "
+                  "/statusz /route)\n\n",
                   exposition.port());
     }
   }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace oct {
 namespace delta {
@@ -43,10 +44,18 @@ Result<serve::TreeVersion> DeltaMaintainer::PumpOnce() {
   OCT_SPAN("delta/pump");
   std::lock_guard<std::mutex> lock(mu_);
   DeltaBatch batch = log_.DrainBatch(options_.max_batch_ops);
-  if (batch.empty()) return serve::TreeVersion{0};
+  if (batch.empty()) {
+    obs::WatchdogBeat("delta.maintainer");
+    return serve::TreeVersion{0};
+  }
   OCT_ASSIGN_OR_RETURN(DeltaApplyOutcome outcome,
                        builder_.ApplyBatch(batch));
-  return PublishOutcomeLocked(std::move(outcome));
+  Result<serve::TreeVersion> published =
+      PublishOutcomeLocked(std::move(outcome));
+  // Heartbeat after the full apply+publish, so a wedged apply (or a stuck
+  // publish hook) reads as a stalled pump on /sloz, not a quiet success.
+  obs::WatchdogBeat("delta.maintainer");
+  return published;
 }
 
 Result<serve::TreeVersion> DeltaMaintainer::Republish() {

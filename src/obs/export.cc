@@ -172,6 +172,17 @@ void WriteHistogram(JsonWriter* w, const HistogramSnapshot& snap,
       w->Key("le").Double(bucket.le);
     }
     w->Key("count").Uint(bucket.count);
+    // Exemplar breadcrumb: a trace id that landed in this bucket, linking
+    // the dashboard's p99 bar to /tracez?trace_id=.
+    if (bucket.index < snap.exemplars.size() &&
+        snap.exemplars[bucket.index].trace_id != 0) {
+      const Exemplar& ex = snap.exemplars[bucket.index];
+      w->Key("exemplar").BeginObject();
+      w->Key("trace_id").String(TraceIdToHex(ex.trace_id));
+      w->Key("value").Double(ex.value);
+      w->Key("timestamp").Double(ex.timestamp);
+      w->EndObject();
+    }
     w->EndObject();
   }
   w->EndArray();
@@ -274,12 +285,24 @@ double SpanTreeCoverage(const std::vector<SpanEvent>& events,
   }
   if (root == nullptr || root->end_ns <= root->start_ns) return 0.0;
   uint64_t covered_ns = 0;
-  for (const SpanEvent& e : events) {
-    if (&e == root) continue;
-    if (e.thread_id != root->thread_id) continue;
-    if (e.depth != root->depth + 1) continue;
-    if (e.start_ns < root->start_ns || e.end_ns > root->end_ns) continue;
-    covered_ns += e.end_ns - e.start_ns;
+  if (root->span_id != 0) {
+    // Explicit parenting: direct children name the root's span id, no
+    // matter which thread or buffer they finished on (a child flushed to
+    // the orphan list by a pool thread's exit still counts).
+    for (const SpanEvent& e : events) {
+      if (&e == root || e.parent_id != root->span_id) continue;
+      covered_ns += e.end_ns - e.start_ns;
+    }
+  } else {
+    // Hand-built events without span ids (older exports, test fixtures):
+    // fall back to the same-thread depth + time-containment heuristic.
+    for (const SpanEvent& e : events) {
+      if (&e == root) continue;
+      if (e.thread_id != root->thread_id) continue;
+      if (e.depth != root->depth + 1) continue;
+      if (e.start_ns < root->start_ns || e.end_ns > root->end_ns) continue;
+      covered_ns += e.end_ns - e.start_ns;
+    }
   }
   return static_cast<double>(covered_ns) /
          static_cast<double>(root->end_ns - root->start_ns);

@@ -7,6 +7,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -243,7 +244,19 @@ std::string RenderPrometheus(
       for (const CumulativeBucket& bucket : snap.CumulativeBuckets()) {
         out += prom + "_bucket{le=\"";
         AppendPrometheusValue(&out, bucket.le);
-        out += "\"} " + std::to_string(bucket.count) + "\n";
+        out += "\"} " + std::to_string(bucket.count);
+        // OpenMetrics exemplar: link the bucket to a trace that landed in
+        // it. Exemplars are legal only on _bucket lines; the sum/count
+        // series below never carry them.
+        if (bucket.index < snap.exemplars.size() &&
+            snap.exemplars[bucket.index].trace_id != 0) {
+          const Exemplar& ex = snap.exemplars[bucket.index];
+          out += " # {trace_id=\"" + TraceIdToHex(ex.trace_id) + "\"} ";
+          AppendPrometheusValue(&out, ex.value);
+          out += " ";
+          AppendPrometheusValue(&out, ex.timestamp);
+        }
+        out += "\n";
       }
       out += prom + "_sum ";
       AppendPrometheusValue(&out, snap.sum);
@@ -254,7 +267,8 @@ std::string RenderPrometheus(
   return out;
 }
 
-std::string RenderTracez(const SpanRing* ring, size_t limit) {
+std::string RenderTracez(const SpanRing* ring, size_t limit,
+                         uint64_t trace_id) {
   JsonWriter w;
   w.BeginObject();
   if (ring == nullptr) {
@@ -263,11 +277,27 @@ std::string RenderTracez(const SpanRing* ring, size_t limit) {
     w.EndObject();
     return w.str();
   }
-  const std::vector<SpanEvent> spans = ring->Latest(limit);
+  std::vector<SpanEvent> spans;
+  if (trace_id != 0) {
+    // One request's tree: scan the whole retention window (a request's
+    // spans may be far apart in recency) and put parents before children.
+    for (const SpanEvent& e : ring->Latest(ring->capacity())) {
+      if (e.trace_id == trace_id) spans.push_back(e);
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanEvent& a, const SpanEvent& b) {
+                if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                return a.end_ns > b.end_ns;
+              });
+    if (spans.size() > limit) spans.resize(limit);
+  } else {
+    spans = ring->Latest(limit);
+  }
   w.Key("retained_capacity").Uint(ring->capacity());
   w.Key("total_added").Uint(ring->total_added());
   w.Key("total_evicted").Uint(ring->total_evicted());
   w.Key("now_ns").Uint(TraceNowNanos());
+  if (trace_id != 0) w.Key("trace_id").String(TraceIdToHex(trace_id));
   w.Key("spans").BeginArray();
   for (const SpanEvent& e : spans) {
     w.BeginObject();
@@ -277,9 +307,92 @@ std::string RenderTracez(const SpanRing* ring, size_t limit) {
     w.Key("dur_us").Double(e.DurationMicros());
     w.Key("thread").Uint(e.thread_id);
     w.Key("depth").Uint(e.depth);
+    if (e.trace_id != 0) w.Key("trace_id").String(TraceIdToHex(e.trace_id));
+    w.Key("span_id").Uint(e.span_id);
+    w.Key("parent_id").Uint(e.parent_id);
     w.EndObject();
   }
   w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string RenderSlowz(const SlowLog* log, size_t limit) {
+  JsonWriter w;
+  w.BeginObject();
+  if (log == nullptr) {
+    w.Key("error").String("no slow log installed");
+    w.Key("requests").BeginArray().EndArray();
+    w.EndObject();
+    return w.str();
+  }
+  w.Key("capacity").Uint(log->capacity());
+  w.Key("total_added").Uint(log->total_added());
+  w.Key("requests").BeginArray();
+  for (const SlowRequestEntry& e : log->Latest(limit)) {
+    w.BeginObject();
+    w.Key("trace_id").String(TraceIdToHex(e.trace_id));
+    w.Key("reason").String(TailReasonName(e.reason));
+    w.Key("query").String(e.query);
+    w.Key("version").Uint(e.version);
+    w.Key("total_us").Double(e.total_us);
+    w.Key("queue_us").Double(e.queue_us);
+    w.Key("resolve_us").Double(e.resolve_us);
+    w.Key("score_us").Double(e.score_us);
+    w.Key("serialize_us").Double(e.serialize_us);
+    w.Key("deduped").Bool(e.deduped);
+    w.Key("shed").Bool(e.shed);
+    w.Key("degraded").Bool(e.degraded);
+    w.Key("errored").Bool(e.errored);
+    w.Key("end_ns").Uint(e.end_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string RenderSloz(const SloEngine* engine, const Watchdog* watchdog) {
+  JsonWriter w;
+  w.BeginObject();
+  bool any_alerting = false;
+  bool any_stalled = false;
+  w.Key("objectives").BeginArray();
+  if (engine != nullptr) {
+    for (const SloStatus& s : engine->Check()) {
+      any_alerting = any_alerting || s.alerting;
+      w.BeginObject();
+      w.Key("name").String(s.name);
+      if (!s.description.empty()) w.Key("description").String(s.description);
+      w.Key("target").Double(s.target);
+      w.Key("window_seconds").Uint(s.window_seconds);
+      w.Key("short_window_seconds").Uint(s.short_window_seconds);
+      w.Key("burn_alert_threshold").Double(s.burn_alert_threshold);
+      w.Key("good").Uint(s.good);
+      w.Key("total").Uint(s.total);
+      w.Key("burn_long").Double(s.burn_long);
+      w.Key("burn_short").Double(s.burn_short);
+      w.Key("alerting").Bool(s.alerting);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.Key("pumps").BeginArray();
+  if (watchdog != nullptr) {
+    for (const PumpStatus& p : watchdog->Check()) {
+      any_stalled = any_stalled || p.stalled;
+      w.BeginObject();
+      w.Key("name").String(p.name);
+      w.Key("beats").Uint(p.beats);
+      w.Key("stall_threshold_seconds").Double(p.stall_threshold_seconds);
+      w.Key("age_seconds").Double(p.age_seconds);
+      w.Key("stalled").Bool(p.stalled);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.Key("any_alerting").Bool(any_alerting);
+  w.Key("any_stalled").Bool(any_stalled);
   w.EndObject();
   return w.str();
 }
@@ -526,7 +639,10 @@ std::string ExpositionServer::RespondTo(const HttpRequest& request) const {
   if (request.path == "/healthz") {
     HealthReport report;
     if (options_.health) report = options_.health();
-    std::string body = report.healthy ? "ok" : "unhealthy";
+    // Degraded is still 200: probes keep the instance in rotation while
+    // the body flags it for operators and the smoke job.
+    std::string body =
+        !report.healthy ? "unhealthy" : (report.degraded ? "degraded" : "ok");
     if (!report.detail.empty()) body += ": " + report.detail;
     body += "\n";
     return TextResponse(report.healthy ? 200 : 503, body);
@@ -534,7 +650,22 @@ std::string ExpositionServer::RespondTo(const HttpRequest& request) const {
   if (request.path == "/tracez") {
     const SpanRing* ring = options_.span_ring != nullptr ? options_.span_ring
                                                          : SpanRing::Global();
-    return JsonResponse(200, RenderTracez(ring, options_.tracez_limit));
+    const uint64_t trace_id =
+        TraceIdFromHex(HttpQueryParam(request.query, "trace_id"));
+    return JsonResponse(200,
+                        RenderTracez(ring, options_.tracez_limit, trace_id));
+  }
+  if (request.path == "/slowz") {
+    const SlowLog* log =
+        options_.slow_log != nullptr ? options_.slow_log : SlowLog::Global();
+    return JsonResponse(200, RenderSlowz(log, options_.slowz_limit));
+  }
+  if (request.path == "/sloz") {
+    const SloEngine* engine =
+        options_.slo != nullptr ? options_.slo : SloEngine::Global();
+    const Watchdog* dog = options_.watchdog != nullptr ? options_.watchdog
+                                                       : Watchdog::Global();
+    return JsonResponse(200, RenderSloz(engine, dog));
   }
   if (request.path == "/statusz" || request.path == "/") {
     JsonWriter w;
@@ -561,8 +692,8 @@ std::string ExpositionServer::RespondTo(const HttpRequest& request) const {
         .Double(static_cast<double>(TraceNowNanos() - start_ns_) * 1e-9);
     w.Key("tracing_enabled").Bool(TracingEnabled());
     w.Key("endpoints").BeginArray();
-    for (const char* e :
-         {"/metrics", "/varz", "/healthz", "/tracez", "/statusz"}) {
+    for (const char* e : {"/metrics", "/varz", "/healthz", "/tracez",
+                          "/slowz", "/sloz", "/statusz"}) {
       w.String(e);
     }
     for (const ExpositionOptions::Endpoint& e : options_.extra_endpoints) {

@@ -4,11 +4,21 @@
 // in a terminal, or the CI smoke job all read the same live state:
 //
 //   /metrics   Prometheus text format 0.0.4 (counters, gauges, histograms
-//              as cumulative _bucket/_sum/_count series, names sanitized)
+//              as cumulative _bucket/_sum/_count series, names sanitized;
+//              buckets carry OpenMetrics exemplars when the histogram
+//              recorded any — `# {trace_id="..."} value ts`)
 //   /varz      the JSON metrics export (MetricsToJson), for dashboards
-//   /healthz   200 "ok" / 503 "unhealthy" from the installed health hook
+//   /healthz   200 "ok" / "degraded: ..." / 503 "unhealthy" from the
+//              installed health hook
 //   /tracez    most recent completed spans from the SpanRing retention
-//              buffer, as JSON (newest first)
+//              buffer, as JSON (newest first). ?trace_id=<hex> filters to
+//              one request's spans, sorted by start time — the reassembled
+//              cross-thread span tree.
+//   /slowz     the tail-sampled slow-request log (SlowLog): requests that
+//              finished slow, shed, degraded, or errored, newest first,
+//              with per-stage latency breakdown
+//   /sloz      SLO burn-rate status per objective (SloEngine) plus
+//              watchdog pump heartbeats (Watchdog)
 //   /statusz   process status JSON: build info, uptime, plus whatever the
 //              installed status hook contributes (the serving stack adds
 //              snapshot version and retained-version history)
@@ -40,16 +50,23 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/slow_log.h"
 #include "obs/span_ring.h"
+#include "obs/watchdog.h"
 #include "util/status.h"
 
 namespace oct {
 namespace obs {
 
 /// What /healthz reports. `detail` is included in the response body.
+/// `degraded` marks a process that still serves but needs attention (SLO
+/// burning, pump stalled): /healthz answers 200 "degraded: ..." so probes
+/// keep routing to it while dashboards see the flag.
 struct HealthReport {
   bool healthy = true;
   std::string detail;
+  bool degraded = false;
 };
 
 struct HttpRequest;
@@ -78,6 +95,16 @@ struct ExpositionOptions {
   SpanRing* span_ring = nullptr;
   /// Most recent spans /tracez returns.
   size_t tracez_limit = 256;
+  /// Source of /slowz entries; nullptr falls back to SlowLog::Global().
+  SlowLog* slow_log = nullptr;
+  /// Most recent entries /slowz returns.
+  size_t slowz_limit = 64;
+  /// Source of /sloz objective status; nullptr falls back to
+  /// SloEngine::Global().
+  SloEngine* slo = nullptr;
+  /// Source of /sloz pump heartbeats; nullptr falls back to
+  /// Watchdog::Global().
+  Watchdog* watchdog = nullptr;
   /// /healthz hook; unset means unconditionally healthy.
   std::function<HealthReport()> health;
   /// Extra /statusz fields: must return a JSON *object* string (e.g.
@@ -90,7 +117,7 @@ struct ExpositionOptions {
   /// obs itself must not depend on them. Keys must not collide with the
   /// built-ins (compiler, assertions, failpoints, perf_counters).
   std::vector<std::pair<std::string, std::string>> build_info;
-  /// Application GET endpoints beyond the built-in five, matched on exact
+  /// Application GET endpoints beyond the built-ins, matched on exact
   /// path after the built-ins. Handlers return a *complete* HTTP response
   /// (use MakeHttpResponse) and must be thread-safe — they run on handler
   /// threads. The serving stack mounts /route here.
@@ -137,7 +164,17 @@ std::string RenderPrometheus(
     const std::vector<const MetricsRegistry*>& registries);
 
 /// JSON render of the SpanRing's most recent `limit` spans (newest first).
-std::string RenderTracez(const SpanRing* ring, size_t limit);
+/// When `trace_id` != 0 only that trace's spans are returned, sorted by
+/// start time (the request's span tree; parent_id links reassemble it).
+std::string RenderTracez(const SpanRing* ring, size_t limit,
+                         uint64_t trace_id = 0);
+
+/// JSON render of the SlowLog's most recent `limit` entries (newest first).
+std::string RenderSlowz(const SlowLog* log, size_t limit);
+
+/// JSON render of SLO burn-rate status plus watchdog pump heartbeats.
+/// Either source may be null (rendered as empty arrays).
+std::string RenderSloz(const SloEngine* engine, const Watchdog* watchdog);
 
 /// Minimal blocking HTTP/1.1 GET against 127.0.0.1:`port`; returns the raw
 /// response (status line, headers, body). For tests, benches, and the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -91,6 +92,20 @@ void Histogram::Record(double value) {
   internal::AtomicMaxDouble(&max_, value);
 }
 
+void Histogram::RecordWithExemplar(double value, uint64_t trace_id) {
+  Record(value);
+  if (trace_id == 0 || std::isnan(value)) return;
+  ExemplarSlot& slot = exemplars_[BucketIndex(std::max(value, 0.0))];
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.timestamp.store(
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  has_exemplars_.store(true, std::memory_order_release);
+}
+
 double Histogram::Percentile(double p) const {
   std::array<uint64_t, kNumBuckets> counts;
   uint64_t total = 0;
@@ -132,9 +147,10 @@ std::vector<CumulativeBucket> HistogramSnapshot::CumulativeBuckets() const {
   for (size_t i = 0; i + 1 < buckets.size(); ++i) {
     if (buckets[i] == 0) continue;
     cumulative += buckets[i];
-    out.push_back({Histogram::BucketUpperBound(i), cumulative});
+    out.push_back({Histogram::BucketUpperBound(i), cumulative, i});
   }
-  out.push_back({std::numeric_limits<double>::infinity(), count});
+  out.push_back({std::numeric_limits<double>::infinity(), count,
+                 buckets.empty() ? 0 : buckets.size() - 1});
   return out;
 }
 
@@ -153,11 +169,28 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.p50 = Percentile(50.0);
   snap.p95 = Percentile(95.0);
   snap.p99 = Percentile(99.0);
+  if (has_exemplars_.load(std::memory_order_acquire)) {
+    snap.exemplars.resize(kNumBuckets);
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snap.exemplars[i].trace_id =
+          exemplars_[i].trace_id.load(std::memory_order_relaxed);
+      snap.exemplars[i].value =
+          exemplars_[i].value.load(std::memory_order_relaxed);
+      snap.exemplars[i].timestamp =
+          exemplars_[i].timestamp.load(std::memory_order_relaxed);
+    }
+  }
   return snap;
 }
 
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplars_) {
+    e.trace_id.store(0, std::memory_order_relaxed);
+    e.value.store(0.0, std::memory_order_relaxed);
+    e.timestamp.store(0.0, std::memory_order_relaxed);
+  }
+  has_exemplars_.store(false, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(),

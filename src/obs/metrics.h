@@ -99,10 +99,22 @@ class Gauge {
 
 /// One bucket of a cumulative (Prometheus-style) histogram view: `count`
 /// observations were <= `le`. The final bucket has le = +infinity and
-/// count = total.
+/// count = total. `index` is the source power-of-two bucket, so renderers
+/// can pair the entry with that bucket's exemplar.
 struct CumulativeBucket {
   double le = 0.0;
   uint64_t count = 0;
+  size_t index = 0;
+};
+
+/// One sampled observation pinned to a histogram bucket: the trace id of a
+/// request that landed there, for linking /metrics buckets to /tracez.
+/// trace_id == 0 means the bucket has no exemplar yet.
+struct Exemplar {
+  uint64_t trace_id = 0;
+  double value = 0.0;
+  /// Unix wall-clock seconds of the observation (OpenMetrics timestamp).
+  double timestamp = 0.0;
 };
 
 /// Plain-value view of a histogram at one instant.
@@ -117,6 +129,9 @@ struct HistogramSnapshot {
   /// Count per bucket; bucket i covers [BucketLowerBound(i),
   /// BucketUpperBound(i)).
   std::vector<uint64_t> buckets;
+  /// Latest exemplar per bucket (same indexing; trace_id == 0 = none).
+  /// Empty when the histogram never saw RecordWithExemplar.
+  std::vector<Exemplar> exemplars;
 
   double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
 
@@ -137,6 +152,15 @@ class Histogram {
   static constexpr size_t kNumBuckets = 40;
 
   void Record(double value);
+
+  /// Record() plus exemplar capture: remembers `trace_id` (last writer
+  /// wins) on the bucket the value lands in, so exposition can link the
+  /// bucket to the request's trace. trace_id == 0 records plainly.
+  /// Exemplar fields are individually relaxed atomics — a concurrent read
+  /// may pair one observation's id with another's value, which is
+  /// harmless for a debugging breadcrumb and keeps the hot path free of
+  /// locks and fences.
+  void RecordWithExemplar(double value, uint64_t trace_id);
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
 
@@ -162,7 +186,17 @@ class Histogram {
 
   static size_t BucketIndex(double value);
 
+  struct ExemplarSlot {
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+    std::atomic<double> timestamp{0.0};
+  };
+
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::array<ExemplarSlot, kNumBuckets> exemplars_;
+  /// Flips once on the first exemplar so Snapshot() skips the 40-slot scan
+  /// for histograms that never carry them.
+  std::atomic<bool> has_exemplars_{false};
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span_ring.h"
+#include "obs/tail_sampler.h"
 
 namespace oct {
 namespace obs {
@@ -52,6 +53,9 @@ TraceState* State() {
 
 /// Registers the calling thread's buffer for its lifetime; flushes finished
 /// events into the orphan list on thread exit so they survive collection.
+/// Parenting survives the flush intact: events carry explicit
+/// span_id/parent_id, so an orphaned child still points at its real parent
+/// regardless of which buffer either ended up in.
 struct ThreadBufferHandle {
   ThreadBuffer* buffer;
 
@@ -89,26 +93,29 @@ ThreadBuffer* LocalBuffer() {
   return handle.buffer;
 }
 
-}  // namespace
-
-namespace internal {
-
-std::atomic<bool> g_tracing_enabled{false};
-
-uint64_t SpanStart() {
-  ++LocalBuffer()->depth;
-  return TraceNowNanos();
-}
-
-void SpanEnd(const char* name, uint64_t start_ns) {
+/// Routes one finished event to its sinks:
+///   - sampled request context -> the tail sampler's pending buffer (the
+///     verdict at FinishTrace decides whether it reaches the ring);
+///   - `collect` (tracing was enabled when the span opened) -> the
+///     retention ring (immediately — unsampled spans have no later
+///     promotion step) + the collection buffers. Gating on the open-time
+///     state keeps the contract that spans already open when the flag
+///     flips still record on close.
+void RouteEvent(const SpanEvent& event, bool collect) {
+  bool pending = false;
+  if (event.trace_id != 0 && internal::g_trace_context.sampled) {
+    if (TailSampler* sampler = TailSampler::Global()) {
+      sampler->Record(event);
+      pending = true;
+    }
+  }
+  if (!collect) return;  // Sampled-only span; the verdict owns retention.
+  // Pending spans reach the ring on promotion; adding them here too would
+  // double-count the same span in /tracez.
+  if (!pending) {
+    if (SpanRing* ring = SpanRing::Global()) ring->Add(event);
+  }
   ThreadBuffer* buffer = LocalBuffer();
-  const uint64_t end_ns = TraceNowNanos();
-  const uint32_t depth = --buffer->depth;
-  const SpanEvent event{name, start_ns, end_ns, depth, buffer->tid};
-  // The retention ring (the /tracez source) is fed independently of the
-  // collection buffers: it keeps only the most recent spans and never
-  // rejects one, so a scrape sees fresh data even when collection lags.
-  if (SpanRing* ring = SpanRing::Global()) ring->Add(event);
   std::lock_guard<std::mutex> lock(buffer->mu);
   if (buffer->events.size() >= kMaxEventsPerThread) {
     DroppedCounter()->Increment();
@@ -117,7 +124,63 @@ void SpanEnd(const char* name, uint64_t start_ns) {
   buffer->events.push_back(event);
 }
 
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+uint64_t SpanStart(uint64_t* span_id, uint64_t* parent_id) {
+  ++LocalBuffer()->depth;
+  TraceContext& ctx = g_trace_context;
+  *parent_id = ctx.span_id;
+  *span_id = NextSpanId();
+  // The thread's parent-span register: children opened inside this scope
+  // (on this thread, or on threads this context is copied to) attach here.
+  ctx.span_id = *span_id;
+  return TraceNowNanos();
+}
+
+void SpanEnd(const char* name, uint64_t start_ns, uint64_t span_id,
+             uint64_t parent_id, bool collect) {
+  ThreadBuffer* buffer = LocalBuffer();
+  const uint64_t end_ns = TraceNowNanos();
+  const uint32_t depth = --buffer->depth;
+  TraceContext& ctx = g_trace_context;
+  // Pop the parent register. ScopedSpan destruction is LIFO per thread and
+  // TraceContextScope saves/restores wholesale, so this stays consistent.
+  ctx.span_id = parent_id;
+  SpanEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.end_ns = end_ns;
+  event.depth = depth;
+  event.thread_id = buffer->tid;
+  event.trace_id = ctx.trace_id;
+  event.span_id = span_id;
+  event.parent_id = parent_id;
+  RouteEvent(event, collect);
+}
+
 }  // namespace internal
+
+void RecordLinkedSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                      uint64_t parent_id) {
+  ThreadBuffer* buffer = LocalBuffer();
+  const TraceContext& ctx = internal::g_trace_context;
+  const bool collect = TracingEnabled();
+  if (!collect && !(ctx.sampled && ctx.trace_id != 0)) return;
+  SpanEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.end_ns = end_ns;
+  event.depth = buffer->depth;
+  event.thread_id = buffer->tid;
+  event.trace_id = ctx.trace_id;
+  event.span_id = internal::NextSpanId();
+  event.parent_id = parent_id;
+  RouteEvent(event, collect);
+}
 
 void SetTracingEnabled(bool enabled) {
   internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);

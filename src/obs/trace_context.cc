@@ -1,0 +1,72 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace oct {
+namespace obs {
+
+namespace internal {
+
+thread_local TraceContext g_trace_context;
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+/// splitmix64 finalizer: sequential counters become well-spread 64-bit ids
+/// so truncated hex prefixes of concurrent traces still differ.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  uint64_t id = 0;
+  while (id == 0) {
+    id = Mix64(next.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+}  // namespace internal
+
+std::string TraceIdToHex(uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+uint64_t TraceIdFromHex(const std::string& hex) {
+  if (hex.empty()) return 0;
+  size_t pos = 0;
+  if (hex.size() > 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    pos = 2;
+  }
+  uint64_t value = 0;
+  for (; pos < hex.size(); ++pos) {
+    const char c = hex[pos];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+}  // namespace obs
+}  // namespace oct

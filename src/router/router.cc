@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "fault/failpoint.h"
+#include "obs/slo.h"
+#include "obs/tail_sampler.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -23,6 +25,18 @@ uint64_t MixHash(uint64_t h, uint64_t v) {
 /// request-specific outcomes and recompute.
 bool Shareable(const RouteResult& result) {
   return result.status.ok() && !result.degraded && !result.shed;
+}
+
+/// Feeds the installed SLO engine (no-op when none): route latency and
+/// non-shed availability, the two objectives the serving stack declares.
+void RecordSlo(const RouteResult& result) {
+  obs::SloEngine* slo = obs::SloEngine::Global();
+  if (slo == nullptr) return;
+  static const std::string kLatency = "router.latency";
+  static const std::string kAvailability = "router.availability";
+  slo->RecordLatency(kLatency, result.total_seconds * 1e6);
+  const bool errored = !result.status.ok() && !result.shed && !result.degraded;
+  slo->Record(kAvailability, !result.shed && !errored);
 }
 
 }  // namespace
@@ -196,18 +210,44 @@ Status Router::Submit(RouteRequest request,
   pending.request = std::move(request);
   pending.done = std::move(done);
 
+  // Carry the request's trace across the queue. A caller that installed a
+  // context (the HTTP ingress) stays the trace owner; otherwise the router
+  // mints one at admission so direct Submit()/Route() callers (benches,
+  // tests) still get cross-thread span trees and tail sampling.
+  pending.trace = obs::CurrentTraceContext();
+  if (!pending.trace.valid()) {
+    const uint64_t deadline_ns =
+        deadline > 0.0
+            ? obs::TraceNowNanos() + static_cast<uint64_t>(deadline * 1e9)
+            : 0;
+    pending.trace = obs::StartRequestTrace(deadline_ns);
+    pending.own_trace = true;
+  }
+
+  Status rejected;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_ || stopping_) {
-      return Status::FailedPrecondition("router: not running");
-    }
-    if (queue_.size() >= options_.max_queue) {
+      rejected = Status::FailedPrecondition("router: not running");
+    } else if (queue_.size() >= options_.max_queue) {
       stats_.RecordShedQueueFull();
-      return Status::ResourceExhausted("router: queue full");
+      rejected = Status::ResourceExhausted("router: queue full");
+    } else {
+      pending.enqueue_elapsed = uptime_.ElapsedSeconds();
+      queue_.push_back(std::move(pending));
+      stats_.SetQueueDepth(static_cast<int64_t>(queue_.size()));
     }
-    pending.enqueue_elapsed = uptime_.ElapsedSeconds();
-    queue_.push_back(std::move(pending));
-    stats_.SetQueueDepth(static_cast<int64_t>(queue_.size()));
+  }
+  if (!rejected.ok()) {
+    if (pending.own_trace) {
+      // The trace never crosses the queue; close its pending entry with
+      // the shed verdict so /slowz records the rejection.
+      obs::TraceFinish fin;
+      fin.shed = true;
+      fin.query = pending.request.query.Text(engine_->catalog());
+      obs::FinishRequestTrace(pending.trace, fin);
+    }
+    return rejected;
   }
   stats_.RecordAdmitted();
   cv_.notify_one();
@@ -256,7 +296,9 @@ RouteResult Router::RouteSerial(const RouteRequest& request) const {
   }
   result.total_seconds = timer.ElapsedSeconds();
   FinishResult(result);
-  stats_.RecordRoute(result.total_seconds);
+  // The serial oracle stays out of the SLO ledger (it is a correctness
+  // probe, not traffic) but still exemplar-links when a context is live.
+  stats_.RecordRoute(result.total_seconds, result.trace_id);
   return result;
 }
 
@@ -300,7 +342,12 @@ void Router::WorkerLoop() {
     for (size_t i = 0; i < batch.size(); ++i) {
       Pending& pending = batch[i];
       Timer timer;
+      // Re-install the request's trace context on this worker thread:
+      // spans below carry the request's trace id and parent under the
+      // submitter's span, reassembling the cross-thread tree on /tracez.
+      obs::TraceContextScope trace_scope(pending.trace);
       RouteResult result;
+      result.trace_id = pending.trace.trace_id;
       result.queue_seconds = dequeue_elapsed - pending.enqueue_elapsed;
       stats_.RecordQueueWait(result.queue_seconds);
       if (!batch_status.ok()) {
@@ -316,10 +363,19 @@ void Router::WorkerLoop() {
         const uint64_t key = WorkKeyFor(pending.request);
         const auto leader = leader_of.find(key);
         if (leader != leader_of.end() && Shareable(computed[leader->second])) {
+          const uint64_t link_start = obs::TraceNowNanos();
           result = computed[leader->second];
+          result.trace_id = pending.trace.trace_id;
+          result.deduped = true;
           stats_.RecordDeduped();
+          // The follower's trace did no scoring of its own; link a span
+          // under the *leader's* scoring span so the follower's tree shows
+          // where its answer came from (a cross-trace edge).
+          obs::RecordLinkedSpan("router/dedup", link_start,
+                                obs::TraceNowNanos(), result.route_span_id);
         } else {
           result = ProcessCached(*index, pending.request, pending.cancel);
+          result.trace_id = pending.trace.trace_id;
           leader_of[key] = i;
         }
         computed[i] = result;
@@ -328,7 +384,23 @@ void Router::WorkerLoop() {
       result.total_seconds =
           result.queue_seconds + timer.ElapsedSeconds();
       FinishResult(result);
-      stats_.RecordRoute(result.total_seconds);
+      stats_.RecordRoute(result.total_seconds, result.trace_id);
+      RecordSlo(result);
+      if (pending.own_trace) {
+        obs::TraceFinish fin;
+        fin.total_us = result.total_seconds * 1e6;
+        fin.queue_us = result.queue_seconds * 1e6;
+        fin.resolve_us = result.resolve_seconds * 1e6;
+        fin.score_us = result.score_seconds * 1e6;
+        fin.shed = result.shed;
+        fin.degraded = result.degraded;
+        fin.errored =
+            !result.status.ok() && !result.shed && !result.degraded;
+        fin.deduped = result.deduped;
+        fin.version = result.version;
+        fin.query = pending.request.query.Text(engine_->catalog());
+        obs::FinishRequestTrace(pending.trace, fin);
+      }
       pending.done(std::move(result));
     }
   }
@@ -337,17 +409,23 @@ void Router::WorkerLoop() {
 RouteResult Router::ProcessOne(const RouteIndex& index,
                                const RouteRequest& request,
                                const fault::CancelToken& cancel) const {
-  OCT_SPAN("router/route");
+  OCT_NAMED_SPAN(route_span, "router/route");
   RouteResult result;
   result.version = index.version();
+  result.trace_id = obs::CurrentTraceContext().trace_id;
+  result.route_span_id = route_span.span_id();
 
   Status injected = OCT_FAILPOINT("router.resolve");
   if (!injected.ok()) {
     result.status = std::move(injected);
     return result;
   }
-  Result<ItemSet> resolved =
-      engine_->TryResultSet(request.query, options_.relevance_threshold);
+  Timer resolve_timer;
+  Result<ItemSet> resolved = [&] {
+    OCT_SPAN("router/resolve");
+    return engine_->TryResultSet(request.query, options_.relevance_threshold);
+  }();
+  result.resolve_seconds = resolve_timer.ElapsedSeconds();
   if (!resolved.ok()) {
     result.status = resolved.status();
     return result;
@@ -362,30 +440,35 @@ RouteResult Router::ProcessOne(const RouteIndex& index,
   const size_t top_k = request.top_k != 0 ? request.top_k : options_.top_k;
   const double min_jaccard =
       request.min_jaccard >= 0.0 ? request.min_jaccard : options_.min_jaccard;
-  std::vector<NodeScore> scores;
-  result.score_stats =
-      index.ScoreTopK(*resolved, top_k, min_jaccard, &cancel, &scores,
-                      request.max_score_nodes);
-  result.degraded = result.score_stats.degraded;
-  result.status = result.degraded
-                      ? Status::DeadlineExceeded(
-                            "router: budget hit mid-descent; best-so-far")
-                      : Status::OK();
+  Timer score_timer;
+  {
+    OCT_SPAN("router/score");
+    std::vector<NodeScore> scores;
+    result.score_stats =
+        index.ScoreTopK(*resolved, top_k, min_jaccard, &cancel, &scores,
+                        request.max_score_nodes);
+    result.degraded = result.score_stats.degraded;
+    result.status = result.degraded
+                        ? Status::DeadlineExceeded(
+                              "router: budget hit mid-descent; best-so-far")
+                        : Status::OK();
 
-  const CategoryTree& tree = index.snapshot().tree();
-  result.ranked.reserve(scores.size());
-  for (const NodeScore& score : scores) {
-    RoutedCategory category;
-    category.node = score.node;
-    category.jaccard = score.jaccard;
-    category.containment = score.containment;
-    category.overlap = score.overlap;
-    category.depth = score.depth;
-    for (NodeId id : index.snapshot().PathTo(score.node)) {
-      category.path.push_back(tree.node(id).label);
+    const CategoryTree& tree = index.snapshot().tree();
+    result.ranked.reserve(scores.size());
+    for (const NodeScore& score : scores) {
+      RoutedCategory category;
+      category.node = score.node;
+      category.jaccard = score.jaccard;
+      category.containment = score.containment;
+      category.overlap = score.overlap;
+      category.depth = score.depth;
+      for (NodeId id : index.snapshot().PathTo(score.node)) {
+        category.path.push_back(tree.node(id).label);
+      }
+      result.ranked.push_back(std::move(category));
     }
-    result.ranked.push_back(std::move(category));
   }
+  result.score_seconds = score_timer.ElapsedSeconds();
   return result;
 }
 

@@ -44,6 +44,7 @@
 #include "data/search_engine.h"
 #include "fault/cancel.h"
 #include "kernel/item_set_index.h"
+#include "obs/trace_context.h"
 #include "router/route_index.h"
 #include "router/router_stats.h"
 #include "serve/tree_store.h"
@@ -127,7 +128,18 @@ struct RouteResult {
   /// Descent accounting (nodes visited / pruned).
   ScoreStats score_stats;
   double queue_seconds = 0.0;
+  /// Result-set resolution / descent+rank time inside ProcessOne (both 0
+  /// for cache hits, dedup copies, and requests that never scored).
+  double resolve_seconds = 0.0;
+  double score_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Answered by copying a same-work-key leader's result in this batch.
+  bool deduped = false;
+  /// Trace identity of the request (0 when tracing was never in play).
+  uint64_t trace_id = 0;
+  /// Span id of the "router/route" span that computed the ranking; dedup
+  /// followers parent their link span under it.
+  uint64_t route_span_id = 0;
 };
 
 class Router {
@@ -184,6 +196,15 @@ class Router {
     fault::CancelToken cancel;
     std::function<void(RouteResult)> done;
     double enqueue_elapsed = 0.0;  // queue-entry time on the admit timer
+    /// Trace context carried across the queue: the submitter's ambient
+    /// context, or one the router minted at admission (own_trace). The
+    /// worker re-installs it, so cross-thread spans share the request's
+    /// trace id and parent correctly.
+    obs::TraceContext trace;
+    /// Router minted the context, so the router reports the tail verdict;
+    /// contexts handed in by the caller are finished by the caller (it
+    /// sees serialization time the router cannot).
+    bool own_trace = false;
   };
 
   void WorkerLoop();

@@ -87,7 +87,11 @@ class RouterStats {
   void SetQueueDepth(int64_t depth) { queue_depth_->Set(depth); }
   void SetIndexVersion(int64_t version) { index_version_->Set(version); }
   void RecordQueueWait(double seconds) { queue_us_->Record(seconds * 1e6); }
-  void RecordRoute(double seconds) { route_us_->Record(seconds * 1e6); }
+  /// `trace_id` (0 = none) exemplar-links the latency bucket this request
+  /// lands in to its trace on /tracez.
+  void RecordRoute(double seconds, uint64_t trace_id = 0) {
+    route_us_->RecordWithExemplar(seconds * 1e6, trace_id);
+  }
 
   RouterStatsSnapshot Snapshot() const;
 
@@ -112,8 +116,8 @@ class RouterStats {
   obs::Counter* cache_misses_;
   obs::Counter* deduped_;
   obs::Gauge* queue_depth_;
-  obs::Gauge* index_version_;
   obs::Gauge* cache_size_;
+  obs::Gauge* index_version_;
   obs::Histogram* route_us_;
   obs::Histogram* queue_us_;
   obs::Histogram* batch_size_;

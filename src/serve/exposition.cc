@@ -7,10 +7,17 @@
 #include "delta/maintainer.h"
 #include "kernel/simd_dispatch.h"
 #include "obs/export.h"
+#include "obs/slo.h"
+#include "obs/slow_log.h"
+#include "obs/tail_sampler.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "obs/watchdog.h"
 #include "router/query_parse.h"
 #include "router/router.h"
 #include "store/replica.h"
 #include "store/version_log.h"
+#include "util/timer.h"
 
 namespace oct {
 namespace serve {
@@ -26,6 +33,7 @@ ServingExposition::ServingExposition(const TreeStore* store,
       router_(router),
       maintainer_(maintainer),
       options_(std::move(options)) {
+  InstallObservability();
   obs::ExpositionOptions server_options;
   server_options.port = options_.port;
   server_options.bind_address = options_.bind_address;
@@ -61,7 +69,73 @@ ServingExposition::ServingExposition(const TreeStore* store,
   server_ = std::make_unique<obs::ExpositionServer>(std::move(server_options));
 }
 
-ServingExposition::~ServingExposition() { Stop(); }
+ServingExposition::~ServingExposition() {
+  Stop();
+  UninstallObservability();
+}
+
+void ServingExposition::InstallObservability() {
+  if (!options_.observability) return;
+  slow_log_ = std::make_unique<obs::SlowLog>(options_.slow_log_capacity);
+  obs::TailSamplerOptions tail_options;
+  tail_options.slow_threshold_us = options_.slow_threshold_us;
+  tail_sampler_ = std::make_unique<obs::TailSampler>(tail_options);
+
+  slo_ = std::make_unique<obs::SloEngine>();
+  obs::SloObjectiveSpec latency;
+  latency.name = "router.latency";
+  latency.description =
+      "Routes finishing within " +
+      std::to_string(static_cast<long long>(options_.slow_threshold_us)) +
+      "us";
+  latency.target = options_.latency_slo_target;
+  latency.latency_threshold_us = options_.slow_threshold_us;
+  latency.burn_alert_threshold = options_.slo_burn_alert_threshold;
+  slo_->AddObjective(latency);
+  obs::SloObjectiveSpec availability;
+  availability.name = "router.availability";
+  availability.description = "Requests neither shed nor errored";
+  availability.target = options_.availability_slo_target;
+  availability.burn_alert_threshold = options_.slo_burn_alert_threshold;
+  slo_->AddObjective(availability);
+
+  watchdog_ = std::make_unique<obs::Watchdog>();
+  watchdog_->RegisterPump("delta.maintainer", options_.pump_stall_seconds);
+  watchdog_->RegisterPump("store.replica_shipper",
+                          options_.pump_stall_seconds);
+  watchdog_->RegisterPump("serve.scheduler", options_.pump_stall_seconds);
+
+  // Fill only empty slots: an operator- or test-installed instance always
+  // wins, and destruction clears exactly what this instance installed. The
+  // /slowz, /sloz, and tail-sampling render paths all resolve the globals,
+  // so the effective stack stays consistent either way.
+  if (obs::SlowLog::Global() == nullptr) {
+    obs::SlowLog::InstallGlobal(slow_log_.get());
+    installed_slow_log_ = true;
+  }
+  if (obs::TailSampler::Global() == nullptr) {
+    obs::TailSampler::InstallGlobal(tail_sampler_.get());
+    installed_tail_sampler_ = true;
+  }
+  if (obs::SloEngine::Global() == nullptr) {
+    obs::SloEngine::InstallGlobal(slo_.get());
+    installed_slo_ = true;
+  }
+  if (obs::Watchdog::Global() == nullptr) {
+    obs::Watchdog::InstallGlobal(watchdog_.get());
+    installed_watchdog_ = true;
+  }
+}
+
+void ServingExposition::UninstallObservability() {
+  // Sampler first: stop opening pending traces before the sinks go away.
+  if (installed_tail_sampler_) obs::TailSampler::InstallGlobal(nullptr);
+  if (installed_slow_log_) obs::SlowLog::InstallGlobal(nullptr);
+  if (installed_slo_) obs::SloEngine::InstallGlobal(nullptr);
+  if (installed_watchdog_) obs::Watchdog::InstallGlobal(nullptr);
+  installed_tail_sampler_ = installed_slow_log_ = false;
+  installed_slo_ = installed_watchdog_ = false;
+}
 
 Status ServingExposition::Start() {
   if (!options_.enabled) return Status::OK();
@@ -113,6 +187,25 @@ obs::HealthReport ServingExposition::Health() const {
       report.detail += ", router stopped";
     }
   }
+  // Degraded, not unhealthy: the process still answers, but the SLO error
+  // budget is burning or a background pump has gone quiet. Probes keep
+  // routing here (200 "degraded: ..."); dashboards and the smoke job see
+  // the flag. The *globals* are consulted — that is where the hot path
+  // records — whether this instance installed them or someone else did.
+  if (const obs::SloEngine* slo = obs::SloEngine::Global()) {
+    for (const obs::SloStatus& s : slo->Check()) {
+      if (!s.alerting) continue;
+      report.degraded = true;
+      report.detail += ", slo " + s.name + " burning";
+    }
+  }
+  if (const obs::Watchdog* dog = obs::Watchdog::Global()) {
+    for (const obs::PumpStatus& p : dog->Check()) {
+      if (!p.stalled) continue;
+      report.degraded = true;
+      report.detail += ", pump " + p.name + " stalled";
+    }
+  }
   return report;
 }
 
@@ -149,7 +242,23 @@ std::string ServingExposition::HandleRoute(
     route_request.deadline_seconds = std::atof(deadline_ms.c_str()) * 1e-3;
   }
 
-  router::RouteResult result = router_->Route(std::move(route_request));
+  // The HTTP ingress owns the request's trace: the router sees a valid
+  // ambient context (so it will not mint one of its own) and the finish
+  // verdict below includes response-serialization time the router never
+  // sees. Early parse errors above deliberately predate the trace — a
+  // malformed query is a client problem, not a tail-latency event.
+  uint64_t deadline_ns = 0;
+  if (route_request.deadline_seconds > 0) {
+    deadline_ns = obs::TraceNowNanos() +
+                  static_cast<uint64_t>(route_request.deadline_seconds * 1e9);
+  }
+  const obs::TraceContext trace = obs::StartRequestTrace(deadline_ns);
+  Timer request_timer;
+  router::RouteResult result;
+  {
+    obs::TraceContextScope scope(trace);
+    result = router_->Route(std::move(route_request));
+  }
   int status = 200;
   if (result.shed || result.status.code() == StatusCode::kResourceExhausted ||
       result.status.code() == StatusCode::kFailedPrecondition) {
@@ -161,31 +270,53 @@ std::string ServingExposition::HandleRoute(
   }
   // Degraded stays 200: the ranking is valid, just best-so-far.
 
-  w.BeginObject();
-  w.Key("query").String(q);
-  w.Key("status").String(StatusCodeName(result.status.code()));
-  w.Key("version").Uint(result.version);
-  w.Key("result_set_size").Uint(result.result_set_size);
-  w.Key("degraded").Bool(result.degraded);
-  w.Key("shed").Bool(result.shed);
-  w.Key("ranked").BeginArray();
-  for (const router::RoutedCategory& category : result.ranked) {
+  Timer serialize_timer;
+  {
+    // Scoped so the serialize span closes (and records into the pending
+    // trace) before the finish verdict decides promote-or-discard.
+    obs::TraceContextScope scope(trace);
+    OCT_SPAN("http/serialize");
     w.BeginObject();
-    w.Key("node").Uint(category.node);
-    w.Key("path").BeginArray();
-    for (const std::string& label : category.path) w.String(label);
+    w.Key("query").String(q);
+    w.Key("trace_id").String(obs::TraceIdToHex(trace.trace_id));
+    w.Key("status").String(StatusCodeName(result.status.code()));
+    w.Key("version").Uint(result.version);
+    w.Key("result_set_size").Uint(result.result_set_size);
+    w.Key("degraded").Bool(result.degraded);
+    w.Key("shed").Bool(result.shed);
+    w.Key("ranked").BeginArray();
+    for (const router::RoutedCategory& category : result.ranked) {
+      w.BeginObject();
+      w.Key("node").Uint(category.node);
+      w.Key("path").BeginArray();
+      for (const std::string& label : category.path) w.String(label);
+      w.EndArray();
+      w.Key("jaccard").Double(category.jaccard);
+      w.Key("containment").Double(category.containment);
+      w.Key("overlap").Uint(category.overlap);
+      w.Key("depth").Uint(category.depth);
+      w.EndObject();
+    }
     w.EndArray();
-    w.Key("jaccard").Double(category.jaccard);
-    w.Key("containment").Double(category.containment);
-    w.Key("overlap").Uint(category.overlap);
-    w.Key("depth").Uint(category.depth);
+    w.Key("nodes_visited").Uint(result.score_stats.nodes_visited);
+    w.Key("nodes_pruned").Uint(result.score_stats.nodes_pruned);
+    w.Key("total_seconds").Double(result.total_seconds);
     w.EndObject();
   }
-  w.EndArray();
-  w.Key("nodes_visited").Uint(result.score_stats.nodes_visited);
-  w.Key("nodes_pruned").Uint(result.score_stats.nodes_pruned);
-  w.Key("total_seconds").Double(result.total_seconds);
-  w.EndObject();
+
+  obs::TraceFinish fin;
+  fin.total_us = request_timer.ElapsedSeconds() * 1e6;
+  fin.shed = result.shed;
+  fin.degraded = result.degraded;
+  fin.errored = !result.status.ok() && !result.shed && !result.degraded;
+  fin.query = q;
+  fin.version = result.version;
+  fin.queue_us = result.queue_seconds * 1e6;
+  fin.resolve_us = result.resolve_seconds * 1e6;
+  fin.score_us = result.score_seconds * 1e6;
+  fin.serialize_us = serialize_timer.ElapsedSeconds() * 1e6;
+  fin.deduped = result.deduped;
+  obs::FinishRequestTrace(trace, fin);
   return obs::MakeHttpResponse(status, "application/json", w.str());
 }
 
@@ -311,6 +442,17 @@ std::string ServingExposition::StatusJson() const {
     w.Key("degraded").Uint(rs.degraded);
     w.Key("errors").Uint(rs.errors);
     w.Key("shed_rate").Double(rs.ShedRate());
+    w.EndObject();
+  }
+  if (const obs::TailSampler* sampler = obs::TailSampler::Global()) {
+    w.Key("tail_sampling").BeginObject();
+    w.Key("traces_started").Uint(sampler->traces_started());
+    w.Key("traces_promoted").Uint(sampler->traces_promoted());
+    w.Key("traces_discarded").Uint(sampler->traces_discarded());
+    w.Key("traces_evicted").Uint(sampler->traces_evicted());
+    if (const obs::SlowLog* log = obs::SlowLog::Global()) {
+      w.Key("slow_log_added").Uint(log->total_added());
+    }
     w.EndObject();
   }
   w.EndObject();

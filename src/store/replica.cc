@@ -8,6 +8,7 @@
 #include "obs/expose.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "util/logging.h"
 
 namespace oct {
@@ -266,6 +267,9 @@ Status ReplicaSet::ShipCommitted(TreeVersion version) {
     if (v < primary_latest) worst = std::max(worst, primary_latest - v);
   }
   max_lag->Set(static_cast<int64_t>(worst));
+  // One heartbeat per completed ship pass (even a failing one: the pump is
+  // alive, the transport is the problem — the breaker owns that signal).
+  obs::WatchdogBeat("store.replica_shipper");
   return first_error;
 }
 

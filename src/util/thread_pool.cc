@@ -1,8 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -50,6 +52,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Propagate the submitter's trace context onto the pool thread, so
+  // spans inside the task parent under the submitting request instead of
+  // showing up as orphan roots of a worker thread.
+  if (const obs::TraceContext ctx = obs::CurrentTraceContext(); ctx.valid()) {
+    task = [ctx, inner = std::move(task)] {
+      obs::TraceContextScope scope(ctx);
+      inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     OCT_CHECK(!stop_);

@@ -27,6 +27,7 @@
 #include "obs/metrics.h"
 #include "obs/span_ring.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "paper_inputs.h"
 #include "serve/exposition.h"
 #include "serve/rebuild_scheduler.h"
@@ -454,6 +455,129 @@ TEST(ExpositionServer, RestartsAfterStop) {
   server.Stop();
 }
 
+// ---------------------------------------------------------------------------
+// Tracing, tail-sampling, and SLO endpoints
+// ---------------------------------------------------------------------------
+
+TEST(RenderTracez, TraceIdFilterReturnsOneTraceSortedByStart) {
+  SpanRing ring(64);
+  // Two interleaved traces; trace 42's spans arrive out of start order.
+  ring.Add({"t42/late", 500, 900, 1, 1, 42, 101, 100});
+  ring.Add({"t7/only", 0, 100, 0, 2, 7, 201, 0});
+  ring.Add({"t42/root", 0, 1000, 0, 1, 42, 100, 0});
+
+  const std::string all = RenderTracez(&ring, 64);
+  EXPECT_NE(all.find("t42/root"), std::string::npos);
+  EXPECT_NE(all.find("t7/only"), std::string::npos);
+
+  const std::string filtered = RenderTracez(&ring, 64, 42);
+  EXPECT_NE(filtered.find("t42/root"), std::string::npos);
+  EXPECT_NE(filtered.find("t42/late"), std::string::npos);
+  EXPECT_EQ(filtered.find("t7/only"), std::string::npos);
+  // The filtered view is the span tree sorted by start time: the root
+  // (start 0) renders before the child (start 500), and the response
+  // echoes which trace it reassembled.
+  EXPECT_LT(filtered.find("t42/root"), filtered.find("t42/late"));
+  EXPECT_NE(filtered.find("\"trace_id\":\"" + TraceIdToHex(42) + "\""),
+            std::string::npos);
+}
+
+TEST(RenderPrometheus, HistogramExemplarRendersOpenMetricsTrailer) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("ex.us", "exemplar histogram");
+  hist->Record(5.0);
+  hist->RecordWithExemplar(100.0, 0xabc123ULL);
+  const std::string text = RenderPrometheus({&registry});
+  // A bucket line carries the OpenMetrics trailer linking to the trace.
+  const std::string trailer =
+      " # {trace_id=\"" + TraceIdToHex(0xabc123ULL) + "\"} 100";
+  EXPECT_NE(text.find(trailer), std::string::npos) << text;
+  // The trailer sits on a _bucket sample, not on _sum/_count.
+  const size_t pos = text.find(trailer);
+  const size_t line_start = text.rfind('\n', pos) + 1;
+  EXPECT_EQ(text.compare(line_start, 13, "ex_us_bucket{"), 0) << text;
+}
+
+TEST(ExpositionServer, HealthzDegradedStaysIn200Rotation) {
+  ExpositionOptions options;
+  options.health = [] {
+    HealthReport report;
+    report.healthy = true;
+    report.degraded = true;
+    report.detail = "slo router.latency burning";
+    return report;
+  };
+  ExpositionServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const auto response = HttpGetLocal(server.port(), "/healthz");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("200 OK"), std::string::npos);
+  EXPECT_NE(response->find("degraded: slo router.latency burning"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ExpositionServer, ServesSlowzSlozAndTracezFilterOnLoopback) {
+  SpanRing ring(64);
+  ring.Add({"req/score", 100, 4000, 1, 1, 0xbeef, 11, 10});
+  ring.Add({"other/span", 0, 50, 0, 1, 0x1234, 21, 0});
+
+  SlowLog slow_log(16);
+  SlowRequestEntry entry;
+  entry.trace_id = 0xbeef;
+  entry.query = "red shoes size 9";
+  entry.version = 3;
+  entry.reason = TailReason::kSlow;
+  entry.total_us = 8200.0;
+  entry.score_us = 7000.0;
+  slow_log.Add(entry);
+
+  SloEngine slo;
+  SloObjectiveSpec spec;
+  spec.name = "it.latency";
+  spec.description = "integration latency objective";
+  spec.target = 0.9;
+  spec.latency_threshold_us = 1000.0;
+  slo.AddObjective(spec);
+  for (int i = 0; i < 20; ++i) slo.RecordLatency("it.latency", 5000.0);
+
+  Watchdog watchdog;
+  watchdog.RegisterPump("it.pump", /*stall_threshold_seconds=*/30.0);
+  watchdog.Beat("it.pump");
+
+  ExpositionOptions options;
+  options.span_ring = &ring;
+  options.slow_log = &slow_log;
+  options.slo = &slo;
+  options.watchdog = &watchdog;
+  ExpositionServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // /slowz: the retained bad request with its trace link and breakdown.
+  auto slowz = HttpGetLocal(server.port(), "/slowz");
+  ASSERT_TRUE(slowz.ok());
+  EXPECT_NE(slowz->find("200 OK"), std::string::npos);
+  EXPECT_NE(slowz->find("red shoes size 9"), std::string::npos);
+  EXPECT_NE(slowz->find("\"reason\":\"slow\""), std::string::npos);
+  EXPECT_NE(slowz->find(TraceIdToHex(0xbeef)), std::string::npos);
+
+  // /sloz: burning objective (all samples bad, burn 10x budget) + pump.
+  auto sloz = HttpGetLocal(server.port(), "/sloz");
+  ASSERT_TRUE(sloz.ok());
+  EXPECT_NE(sloz->find("\"it.latency\""), std::string::npos);
+  EXPECT_NE(sloz->find("\"alerting\":true"), std::string::npos);
+  EXPECT_NE(sloz->find("\"it.pump\""), std::string::npos);
+
+  // /tracez?trace_id= narrows to the one request's span tree.
+  auto tracez = HttpGetLocal(
+      server.port(), "/tracez?trace_id=" + TraceIdToHex(0xbeef));
+  ASSERT_TRUE(tracez.ok());
+  EXPECT_NE(tracez->find("req/score"), std::string::npos);
+  EXPECT_EQ(tracez->find("other/span"), std::string::npos);
+
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace obs
 
@@ -480,6 +604,39 @@ TEST(ServingExposition, HealthTracksSnapshotAvailability) {
   EXPECT_FALSE(exposition.Health().healthy);  // Nothing published yet.
   store.Publish(CategoryTree());
   EXPECT_TRUE(exposition.Health().healthy);
+}
+
+TEST(ServingExposition, SloBurnAndPumpStallFlipHealthToDegraded) {
+  TreeStore store;
+  store.Publish(CategoryTree());
+  ExpositionOptions options;
+  options.pump_stall_seconds = 0.02;
+  ServingExposition exposition(&store, nullptr, nullptr, options);
+  ASSERT_TRUE(exposition.Health().healthy);
+  EXPECT_FALSE(exposition.Health().degraded);
+
+  // Violate the route-latency objective the exposition declared: every
+  // sample lands far past the threshold, burning the budget in both
+  // windows.
+  obs::SloEngine* slo = obs::SloEngine::Global();
+  ASSERT_NE(slo, nullptr);  // Installed by the exposition at ctor.
+  for (int i = 0; i < 50; ++i) slo->RecordLatency("router.latency", 1e7);
+  obs::HealthReport report = exposition.Health();
+  EXPECT_TRUE(report.healthy);  // Degraded stays in rotation.
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.detail.find("slo router.latency burning"),
+            std::string::npos)
+      << report.detail;
+
+  // A pump that beats once and then goes quiet past its threshold is
+  // stalled, and health says which one.
+  obs::WatchdogBeat("delta.maintainer");
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  report = exposition.Health();
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.detail.find("pump delta.maintainer stalled"),
+            std::string::npos)
+      << report.detail;
 }
 
 TEST(ServingExposition, HealthzFlipsWithCircuitBreaker) {

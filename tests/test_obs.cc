@@ -1,22 +1,31 @@
 // Unit tests for oct::obs: metrics registry (counters, gauges, histograms,
-// concurrency), scoped trace spans (nesting, threading, enable gate), and
-// the JSON / Chrome-trace exporters (validated with a small JSON parser).
+// exemplars, concurrency), scoped trace spans (nesting, explicit parent
+// ids, cross-thread trace contexts, enable gate), tail-based sampling, the
+// SLO burn-rate engine, the pump watchdog, and the JSON / Chrome-trace
+// exporters (validated with a small JSON parser).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/failpoint.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/slow_log.h"
 #include "obs/span_ring.h"
+#include "obs/tail_sampler.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "obs/watchdog.h"
 
 namespace oct {
 namespace obs {
@@ -581,6 +590,378 @@ TEST(Export, WriteStringToFileRoundTrips) {
 TEST(Export, WriteStringToFileFailsOnBadPath) {
   EXPECT_FALSE(
       WriteStringToFile("/nonexistent-dir-xyz/file.json", "x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Trace context and explicit span parenting
+// ---------------------------------------------------------------------------
+
+TEST(TraceContext, MintsUniqueIdsAndScopesNestAndRestore) {
+  const TraceContext a = StartRequestTrace();
+  const TraceContext b = StartRequestTrace();
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(b.trace_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_FALSE(a.sampled);  // No sampler installed.
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  {
+    TraceContextScope outer(a);
+    EXPECT_EQ(CurrentTraceContext().trace_id, a.trace_id);
+    {
+      TraceContextScope inner(b);
+      EXPECT_EQ(CurrentTraceContext().trace_id, b.trace_id);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_id, a.trace_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+}
+
+TEST(TraceContext, HexRoundTripsAndRejectsGarbage) {
+  const uint64_t id = 0xdeadbeefcafef00dULL;
+  EXPECT_EQ(TraceIdFromHex(TraceIdToHex(id)), id);
+  EXPECT_EQ(TraceIdFromHex("0x" + TraceIdToHex(id)), id);
+  EXPECT_EQ(TraceIdFromHex(""), 0u);
+  EXPECT_EQ(TraceIdFromHex("not-hex"), 0u);
+}
+
+TEST_F(TraceTest, SpansCarryExplicitParentIds) {
+  uint64_t outer_id = 0;
+  {
+    OCT_NAMED_SPAN(outer, "parent/outer");
+    outer_id = outer.span_id();
+    EXPECT_NE(outer_id, 0u);
+    { OCT_SPAN("parent/inner"); }
+  }
+  const std::vector<SpanEvent> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanEvent* outer = nullptr;
+  const SpanEvent* inner = nullptr;
+  for (const SpanEvent& e : spans) {
+    if (std::string(e.name) == "parent/outer") outer = &e;
+    if (std::string(e.name) == "parent/inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->span_id, outer_id);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_NE(inner->span_id, outer->span_id);
+}
+
+TEST_F(TraceTest, LinkedSpanAttachesUnderExplicitParent) {
+  RecordLinkedSpan("link", 10, 20, /*parent_id=*/777);
+  const std::vector<SpanEvent> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent_id, 777u);
+  EXPECT_NE(spans[0].span_id, 0u);
+  EXPECT_EQ(spans[0].start_ns, 10u);
+  EXPECT_EQ(spans[0].end_ns, 20u);
+}
+
+TEST_F(TraceTest, CrossThreadSpansShareTraceViaExplicitContext) {
+  const TraceContext ctx = StartRequestTrace();
+  {
+    TraceContextScope scope(ctx);
+    OCT_SPAN("trace/caller");
+  }
+  std::thread worker([&ctx] {
+    TraceContextScope scope(ctx);
+    OCT_SPAN("trace/worker");
+  });
+  worker.join();
+  { OCT_SPAN("trace/outside"); }
+
+  const std::vector<SpanEvent> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  uint32_t caller_tid = 0;
+  uint32_t worker_tid = 0;
+  for (const SpanEvent& e : spans) {
+    const std::string name = e.name;
+    if (name == "trace/outside") {
+      EXPECT_EQ(e.trace_id, 0u);  // No context installed.
+    } else {
+      EXPECT_EQ(e.trace_id, ctx.trace_id);
+      if (name == "trace/caller") caller_tid = e.thread_id;
+      if (name == "trace/worker") worker_tid = e.thread_id;
+    }
+  }
+  // Same request trace reassembled across two distinct threads.
+  EXPECT_NE(caller_tid, worker_tid);
+}
+
+// ---------------------------------------------------------------------------
+// Tail-based sampling
+// ---------------------------------------------------------------------------
+
+TEST(TailSampler, PromotesBadTracesDiscardsGoodOnes) {
+  SpanRing ring(128);
+  SlowLog slow_log(16);
+  TailSamplerOptions options;
+  options.slow_threshold_us = 1000.0;
+  options.ring = &ring;
+  options.slow_log = &slow_log;
+  TailSampler sampler(options);
+  TailSampler::InstallGlobal(&sampler);
+
+  // Fast, clean request: spans buffer pending, the verdict discards them.
+  // Tracing is globally off — the tail path alone must record.
+  {
+    const TraceContext ctx = StartRequestTrace();
+    EXPECT_TRUE(ctx.sampled);
+    {
+      TraceContextScope scope(ctx);
+      OCT_SPAN("tail/fast");
+    }
+    TraceFinish fin;
+    fin.total_us = 10.0;
+    EXPECT_FALSE(FinishRequestTrace(ctx, fin));
+    EXPECT_EQ(ring.total_added(), 0u);
+    EXPECT_EQ(slow_log.total_added(), 0u);
+  }
+
+  // Slow request: promoted with its spans and a full slow-log entry.
+  {
+    const TraceContext ctx = StartRequestTrace();
+    {
+      TraceContextScope scope(ctx);
+      OCT_SPAN("tail/slow");
+    }
+    TraceFinish fin;
+    fin.total_us = 5000.0;
+    fin.query = "red shoes";
+    fin.version = 7;
+    fin.score_us = 4000.0;
+    EXPECT_TRUE(FinishRequestTrace(ctx, fin));
+    const auto latest = ring.Latest(8);
+    ASSERT_EQ(latest.size(), 1u);
+    EXPECT_STREQ(latest[0].name, "tail/slow");
+    EXPECT_EQ(latest[0].trace_id, ctx.trace_id);
+    const auto entries = slow_log.Latest(8);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].trace_id, ctx.trace_id);
+    EXPECT_EQ(entries[0].query, "red shoes");
+    EXPECT_EQ(entries[0].version, 7u);
+    EXPECT_EQ(entries[0].reason, TailReason::kSlow);
+    EXPECT_DOUBLE_EQ(entries[0].score_us, 4000.0);
+  }
+
+  // Shed promotes regardless of latency, even with no spans recorded
+  // (rejected at admission), and the worst condition labels the entry.
+  {
+    const TraceContext ctx = StartRequestTrace();
+    TraceFinish fin;
+    fin.total_us = 5.0;
+    fin.shed = true;
+    EXPECT_TRUE(FinishRequestTrace(ctx, fin));
+    EXPECT_EQ(slow_log.Latest(1)[0].reason, TailReason::kShed);
+  }
+  {
+    const TraceContext ctx = StartRequestTrace();
+    TraceFinish fin;
+    fin.total_us = 5.0;
+    fin.errored = true;
+    fin.shed = true;  // Error outranks shed.
+    EXPECT_TRUE(FinishRequestTrace(ctx, fin));
+    EXPECT_EQ(slow_log.Latest(1)[0].reason, TailReason::kError);
+  }
+
+  EXPECT_EQ(sampler.traces_started(), 4u);
+  EXPECT_EQ(sampler.traces_promoted(), 3u);
+  EXPECT_EQ(sampler.traces_discarded(), 1u);
+  TailSampler::InstallGlobal(nullptr);
+}
+
+TEST(TailSampler, PendingShardBoundEvictsOldest) {
+  TailSamplerOptions options;
+  options.max_pending_per_shard = 2;
+  TailSampler sampler(options);
+  TailSampler::InstallGlobal(&sampler);
+  for (int i = 0; i < 64; ++i) (void)StartRequestTrace();
+  // 64 opens over 8 shards bounded at 2 pending each: evictions must have
+  // happened, and the leak is bounded by construction.
+  EXPECT_GE(sampler.traces_evicted(), 64u - 8u * 2u);
+  TailSampler::InstallGlobal(nullptr);
+}
+
+TEST(TailSampler, PerTraceSpanCapDropsExcessSpans) {
+  SpanRing ring(256);
+  TailSamplerOptions options;
+  options.max_spans_per_trace = 4;
+  options.ring = &ring;
+  TailSampler sampler(options);
+  TailSampler::InstallGlobal(&sampler);
+  const TraceContext ctx = StartRequestTrace();
+  {
+    TraceContextScope scope(ctx);
+    for (int i = 0; i < 10; ++i) {
+      OCT_SPAN("tail/capped");
+    }
+  }
+  TraceFinish fin;
+  fin.errored = true;
+  EXPECT_TRUE(FinishRequestTrace(ctx, fin));
+  EXPECT_EQ(ring.total_added(), 4u);
+  TailSampler::InstallGlobal(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn-rate engine
+// ---------------------------------------------------------------------------
+
+TEST(SloEngine, BurnRateAlertsWhenBothWindowsExceedThreshold) {
+  SloEngine engine;
+  SloObjectiveSpec spec;
+  spec.name = "test.avail";
+  spec.description = "test availability";
+  spec.target = 0.9;  // Error budget: 10%.
+  spec.window_seconds = 300;
+  spec.short_window_seconds = 60;
+  spec.burn_alert_threshold = 2.0;
+  engine.AddObjective(spec);
+  EXPECT_EQ(engine.num_objectives(), 1u);
+
+  for (int i = 0; i < 100; ++i) engine.Record("test.avail", true);
+  std::vector<SloStatus> status = engine.Check();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].total, 100u);
+  EXPECT_EQ(status[0].good, 100u);
+  EXPECT_DOUBLE_EQ(status[0].burn_long, 0.0);
+  EXPECT_FALSE(status[0].alerting);
+  EXPECT_FALSE(engine.AnyAlerting());
+
+  // Half the samples go bad: burn = 0.5 / 0.1 = 5x budget in both windows
+  // (every sample is recent, so short and long agree) -> alert.
+  for (int i = 0; i < 100; ++i) engine.Record("test.avail", false);
+  status = engine.Check();
+  EXPECT_EQ(status[0].total, 200u);
+  EXPECT_GT(status[0].burn_long, 2.0);
+  EXPECT_GT(status[0].burn_short, 2.0);
+  EXPECT_TRUE(status[0].alerting);
+  EXPECT_TRUE(engine.AnyAlerting());
+}
+
+TEST(SloEngine, LatencyObjectiveCountsThresholdAndIgnoresUnknownNames) {
+  SloEngine engine;
+  SloObjectiveSpec spec;
+  spec.name = "test.lat";
+  spec.target = 0.99;
+  spec.latency_threshold_us = 100.0;
+  engine.AddObjective(spec);
+
+  engine.RecordLatency("test.lat", 50.0);    // Good.
+  engine.RecordLatency("test.lat", 100.0);   // Good (<=).
+  engine.RecordLatency("test.lat", 5000.0);  // Bad.
+  engine.Record("no.such.objective", false);  // Silently ignored.
+  engine.RecordLatency("no.such.objective", 1.0);
+
+  const std::vector<SloStatus> status = engine.Check();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].total, 3u);
+  EXPECT_EQ(status[0].good, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+TEST(Watchdog, NeverBeatenPumpIsIdleNotStalled) {
+  Watchdog dog;
+  dog.RegisterPump("idle.pump", /*stall_threshold_seconds=*/0.0);
+  const std::vector<PumpStatus> status = dog.Check();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].beats, 0u);
+  EXPECT_FALSE(status[0].stalled);
+  EXPECT_FALSE(dog.AnyStalled());
+  // Beats to unregistered names are ignored; no global installed means the
+  // free helper is a no-op.
+  WatchdogBeat("idle.pump");
+  dog.Beat("no.such.pump");
+  EXPECT_EQ(dog.Check()[0].beats, 0u);
+}
+
+TEST(Watchdog, DelayFailpointStallsThePumpThenHeals) {
+  Watchdog dog;
+  dog.RegisterPump("test.pump", /*stall_threshold_seconds=*/0.05);
+  Watchdog::InstallGlobal(&dog);
+  // One pump iteration wedges on a one-shot 300 ms delay failpoint — well
+  // past the 50 ms stall threshold — then resumes beating.
+  ASSERT_TRUE(fault::FailPointRegistry::Default()
+                  ->Arm("obs.test.pump", "delay:300:x1")
+                  .ok());
+  std::atomic<bool> stop{false};
+  std::thread pump([&stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      WatchdogBeat("test.pump");
+      (void)OCT_FAILPOINT("obs.test.pump");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool saw_stall = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (dog.AnyStalled()) {
+      saw_stall = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(saw_stall);
+  // The wedge is one-shot: beats resume and the stall heals.
+  bool healed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!dog.AnyStalled()) {
+      healed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(healed);
+  stop.store(true, std::memory_order_release);
+  pump.join();
+  Watchdog::InstallGlobal(nullptr);
+  fault::FailPointRegistry::Default()->DisarmAll();
+  ASSERT_EQ(dog.Check().size(), 1u);
+  EXPECT_GE(dog.Check()[0].beats, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram exemplars and explicit-parent coverage
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, RecordWithExemplarAttachesTraceToItsBucket) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("ex_us");
+  hist->Record(10.0);  // Plain record: no exemplar.
+  EXPECT_TRUE(hist->Snapshot().exemplars.empty());
+
+  hist->RecordWithExemplar(100.0, 0xabcdefULL);
+  hist->RecordWithExemplar(50.0, 0);  // Trace id 0: counted, no exemplar.
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  ASSERT_FALSE(snap.exemplars.empty());
+  bool found = false;
+  for (const Exemplar& e : snap.exemplars) {
+    if (e.trace_id == 0xabcdefULL) {
+      found = true;
+      EXPECT_DOUBLE_EQ(e.value, 100.0);
+      EXPECT_GT(e.timestamp, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Export, SpanTreeCoverageUsesExplicitParentIdsAcrossThreads) {
+  // A root with an id parents children by span id, not by thread + depth:
+  // the cross-thread child counts, the grandchild and the unrelated span
+  // do not.
+  std::vector<SpanEvent> events;
+  events.push_back({"root", 0, 1000, 0, 1, 42, 100, 0});
+  events.push_back({"same_thread_child", 0, 400, 1, 1, 42, 101, 100});
+  events.push_back({"cross_thread_child", 500, 900, 0, 2, 42, 102, 100});
+  events.push_back({"grandchild", 0, 400, 2, 1, 42, 103, 101});
+  events.push_back({"unrelated", 0, 1000, 1, 2, 42, 104, 999});
+  EXPECT_DOUBLE_EQ(SpanTreeCoverage(events, "root"), 0.8);
 }
 
 }  // namespace

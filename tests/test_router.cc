@@ -17,6 +17,9 @@
 #include "data/query_log.h"
 #include "fault/failpoint.h"
 #include "obs/expose.h"
+#include "obs/tail_sampler.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "router/query_parse.h"
 #include "router/route_index.h"
 #include "router/router.h"
@@ -787,6 +790,151 @@ TEST_F(RouterTest, BatchDedupFansOutLeaderResultToIdenticalRequests) {
   router.Stop();
 }
 
+TEST_F(RouterTest, TraceContextPropagatesAcrossTheQueue) {
+  serve::TreeStore store(2);
+  store.Publish(CategoryTree(SharedTree()));
+  RouterOptions options;
+  options.num_workers = 1;
+  Router router(&store, SharedDataset().engine.get(), options);
+  router.Start();
+
+  obs::ClearSpans();
+  obs::SetTracingEnabled(true);
+  const obs::TraceContext ctx = obs::StartRequestTrace();
+  RouteResult result;
+  std::atomic<bool> done{false};
+  {
+    // The context is ambient only here, on the submitting thread; the
+    // router must carry it across the queue to the worker explicitly.
+    obs::TraceContextScope scope(ctx);
+    RouteRequest request;
+    request.query = SampleQueries(1).front();
+    ASSERT_TRUE(router
+                    .Submit(request,
+                            [&](RouteResult r) {
+                              result = std::move(r);
+                              done.store(true, std::memory_order_release);
+                            })
+                    .ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!done.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(done.load());
+  router.Stop();  // Worker exits; its span buffer stays collectable.
+  obs::SetTracingEnabled(false);
+
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.trace_id, ctx.trace_id);
+  EXPECT_NE(result.route_span_id, 0u);
+  // The worker-side scoring span carries the submitter's trace id.
+  const std::vector<obs::SpanEvent> spans = obs::CollectSpans();
+  const obs::SpanEvent* route = nullptr;
+  for (const obs::SpanEvent& e : spans) {
+    if (std::string(e.name) == "router/route" &&
+        e.span_id == result.route_span_id) {
+      route = &e;
+    }
+  }
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->trace_id, ctx.trace_id);
+}
+
+TEST_F(RouterTest, DedupFollowersKeepTheirTraceAndLinkToTheLeader) {
+  serve::TreeStore store(2);
+  store.Publish(CategoryTree(SharedTree()));
+  RouterOptions options;
+  options.num_workers = 1;
+  options.max_batch = 32;
+  options.max_queue = 64;
+  Router router(&store, SharedDataset().engine.get(), options);
+  router.Start();
+
+  obs::ClearSpans();
+  obs::SetTracingEnabled(true);
+  // Same shape as the dedup fan-out test above, but every clone submits
+  // under its own request trace.
+  ASSERT_TRUE(fault::FailPointRegistry::Default()
+                  ->Arm("router.batch", "delay:150")
+                  .ok());
+  const std::vector<data::Query> queries = SampleQueries(2);
+  std::atomic<size_t> done{0};
+  RouteRequest blocker;
+  blocker.query = queries[0];
+  ASSERT_TRUE(router.Submit(blocker, [&](RouteResult) { done++; }).ok());
+
+  constexpr size_t kClones = 6;
+  std::vector<obs::TraceContext> traces(kClones);
+  std::vector<RouteResult> results(kClones);
+  for (size_t i = 0; i < kClones; ++i) {
+    traces[i] = obs::StartRequestTrace();
+    obs::TraceContextScope scope(traces[i]);
+    RouteRequest clone;
+    clone.query = queries[1];
+    ASSERT_TRUE(router
+                    .Submit(clone,
+                            [&results, i, &done](RouteResult r) {
+                              results[i] = std::move(r);
+                              done++;
+                            })
+                    .ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < kClones + 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(done.load(), kClones + 1);
+  fault::FailPointRegistry::Default()->DisarmAll();
+  const RouterStatsSnapshot stats = router.stats().Snapshot();
+  router.Stop();
+  obs::SetTracingEnabled(false);
+
+  ASSERT_GE(stats.deduped, 1u);
+  // Followers keep their own trace id but inherit the leader's scoring
+  // span id, so /tracez can walk follower -> leader.
+  std::vector<uint64_t> leader_spans;
+  std::vector<uint64_t> follower_traces;
+  size_t followers = 0;
+  for (size_t i = 0; i < kClones; ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << i;
+    EXPECT_EQ(results[i].trace_id, traces[i].trace_id) << i;
+    EXPECT_NE(results[i].route_span_id, 0u) << i;
+    if (results[i].deduped) {
+      ++followers;
+      follower_traces.push_back(results[i].trace_id);
+    } else {
+      leader_spans.push_back(results[i].route_span_id);
+    }
+  }
+  EXPECT_EQ(followers, stats.deduped);
+  for (size_t i = 0; i < kClones; ++i) {
+    if (!results[i].deduped) continue;
+    EXPECT_NE(std::find(leader_spans.begin(), leader_spans.end(),
+                        results[i].route_span_id),
+              leader_spans.end())
+        << i;
+  }
+  // Exactly one cross-trace link span per follower: parented under a
+  // leader's scoring span, tagged with the follower's own trace id.
+  size_t links = 0;
+  for (const obs::SpanEvent& e : obs::CollectSpans()) {
+    if (std::string(e.name) != "router/dedup") continue;
+    ++links;
+    EXPECT_NE(std::find(leader_spans.begin(), leader_spans.end(),
+                        e.parent_id),
+              leader_spans.end());
+    EXPECT_NE(std::find(follower_traces.begin(), follower_traces.end(),
+                        e.trace_id),
+              follower_traces.end());
+  }
+  EXPECT_EQ(links, stats.deduped);
+}
+
 TEST_F(RouterTest, BatchedPathWithCacheStillMatchesSerialOracle) {
   serve::TreeStore store(2);
   store.Publish(CategoryTree(SharedTree()));
@@ -881,6 +1029,49 @@ TEST_F(RouterTest, ExpositionServesRouteEndpoint) {
   const std::string shed = exposition.server()->HandleRequest(
       "GET /route?q=0:0 HTTP/1.1\r\n\r\n");
   EXPECT_NE(shed.find("503"), std::string::npos) << shed;
+}
+
+TEST_F(RouterTest, TailSamplingKeepsOnlyBadRequestsEndToEnd) {
+  serve::TreeStore store(2);
+  store.Publish(CategoryTree(SharedTree()));
+  RouterOptions options;
+  options.num_workers = 1;
+  Router router(&store, SharedDataset().engine.get(), options);
+  router.Start();
+  // Huge slow threshold: only shed/degraded/errored requests promote, so
+  // the clean-request phase below cannot flake on a slow CI machine.
+  serve::ExpositionOptions opts;
+  opts.slow_threshold_us = 1e9;
+  serve::ServingExposition exposition(&store, nullptr, nullptr, opts,
+                                      &router);
+  obs::TailSampler* sampler = obs::TailSampler::Global();
+  ASSERT_NE(sampler, nullptr);  // Installed by the exposition at ctor.
+
+  // Fast clean route: 200 with the trace id echoed in the body, but the
+  // tail verdict discards it — /slowz stays empty.
+  const std::string ok = exposition.server()->HandleRequest(
+      "GET /route?q=0:0&k=3 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("\"trace_id\":\""), std::string::npos) << ok;
+  EXPECT_GE(sampler->traces_discarded(), 1u);
+  const std::string clean_slowz =
+      exposition.server()->HandleRequest("GET /slowz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(clean_slowz.find("\"reason\""), std::string::npos) << clean_slowz;
+
+  // Shed route (router stopped): promoted with its query text and reason.
+  router.Stop();
+  const std::string shed = exposition.server()->HandleRequest(
+      "GET /route?q=0:0&k=3 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(shed.find("503"), std::string::npos) << shed;
+  EXPECT_GE(sampler->traces_promoted(), 1u);
+  const std::string slowz =
+      exposition.server()->HandleRequest("GET /slowz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(slowz.find("\"reason\":\"shed\""), std::string::npos) << slowz;
+  EXPECT_NE(slowz.find("0:0"), std::string::npos) << slowz;
+  // /statusz surfaces the tail-sampling ledger.
+  const std::string statusz =
+      exposition.server()->HandleRequest("GET /statusz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(statusz.find("\"tail_sampling\""), std::string::npos) << statusz;
 }
 
 }  // namespace

@@ -5,9 +5,14 @@ Structural checks, not a full client: every non-comment line must be
 `name[{labels}] value`, names in [a-zA-Z_:][a-zA-Z0-9_:]*, values numeric
 (or +Inf/-Inf/NaN); # TYPE values must be counter/gauge/histogram; every
 histogram must end its _bucket series with le="+Inf" and agree with its
-_count. --require <prefix> (repeatable) additionally demands at least one
-sample with that prefix — the CI smoke job uses this to prove the serve.*,
-ctcr.*, and kernel.* families all made it into /metrics.
+_count. Samples may carry an OpenMetrics exemplar trailer
+(` # {trace_id="..."} value [timestamp]`) — but only on the _bucket
+series of a declared histogram family; exemplars anywhere else (counters,
+gauges, _sum/_count lines) are rejected, as are malformed labelsets and
+non-numeric exemplar values. --require <prefix> (repeatable) additionally
+demands at least one sample with that prefix — the CI smoke job uses this
+to prove the serve.*, ctcr.*, and kernel.* families all made it into
+/metrics.
 
   $ curl -s localhost:9187/metrics | tools/check_prom_text.py --require serve_
 """
@@ -19,6 +24,9 @@ import sys
 NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+EXEMPLAR_RE = re.compile(
+    r'^\{([a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*)?\} (\S+)(?: (\S+))?$')
 VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
 
 
@@ -52,6 +60,8 @@ def main(argv):
     errors = []
     samples = {}           # name -> last plain value
     bucket_counts = {}     # histogram name -> {le: value}
+    types = {}             # family name -> declared TYPE
+    exemplar_count = 0
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line:
             continue
@@ -63,8 +73,14 @@ def main(argv):
                 elif not NAME_RE.fullmatch(parts[2]):
                     errors.append(
                         f"line {lineno}: invalid metric name {parts[2]!r}")
+                else:
+                    types[parts[2]] = parts[3]
             continue
-        m = SAMPLE_RE.match(line)
+        # OpenMetrics exemplar trailer: `sample # {labels} value [ts]`.
+        # Split before parsing so a malformed trailer gets its own error
+        # instead of failing the whole line as unparseable.
+        sample_part, sep, exemplar_part = line.partition(" # ")
+        m = SAMPLE_RE.match(sample_part)
         if not m:
             errors.append(f"line {lineno}: unparseable sample: {line!r}")
             continue
@@ -72,6 +88,26 @@ def main(argv):
         if not is_number(value):
             errors.append(f"line {lineno}: non-numeric value: {line!r}")
             continue
+        if sep:
+            em = EXEMPLAR_RE.match(exemplar_part)
+            if em is None:
+                errors.append(
+                    f"line {lineno}: malformed exemplar: {line!r}")
+            elif not is_number(em.group(2)) or (
+                    em.group(3) is not None and not is_number(em.group(3))):
+                errors.append(
+                    f"line {lineno}: non-numeric exemplar value/timestamp: "
+                    f"{line!r}")
+            elif not name.endswith("_bucket"):
+                errors.append(
+                    f"line {lineno}: exemplar on non-_bucket sample "
+                    f"{name!r}")
+            elif types.get(name[: -len("_bucket")]) != "histogram":
+                errors.append(
+                    f"line {lineno}: exemplar on non-histogram family "
+                    f"{name[: -len('_bucket')]!r}")
+            else:
+                exemplar_count += 1
         if labels and name.endswith("_bucket"):
             le = re.search(r'le="([^"]*)"', labels)
             if le is None:
@@ -111,7 +147,7 @@ def main(argv):
             print(f"check_prom_text: {err}", file=sys.stderr)
         return 1
     print(f"check_prom_text: OK ({len(samples)} plain samples, "
-          f"{len(bucket_counts)} histograms)")
+          f"{len(bucket_counts)} histograms, {exemplar_count} exemplars)")
     return 0
 
 

@@ -3,7 +3,10 @@
 # online_store example with OCT_EXPOSE_PORT, waits for the port, scrapes
 # /metrics, /healthz, /statusz, and /route with curl, and validates the
 # /metrics payload with tools/check_prom_text.py (format + presence of the
-# serve.*, ctcr.*, kernel.*, and router.* families). Run by the CI
+# serve.*, ctcr.*, kernel.*, and router.* families). Also exercises the
+# tail-sampling pipeline: a burst of /route calls with a microscopic
+# deadline_ms forces shed requests, which must surface on /slowz (with
+# trace ids) and leave /sloz rendering its objectives. Run by the CI
 # exposition-smoke job; works identically on a laptop:
 #
 #   $ tools/expose_smoke.sh             # build dir: build, port 9187
@@ -73,6 +76,35 @@ for bad in "/route" "/route?q=zzzznope"; do
   fi
 done
 echo "(missing/malformed q -> 400)"
+
+echo "== /slowz + /sloz (tail sampling under load) =="
+# A burst of routes with a 1-microsecond deadline: the deadline expires in
+# the queue, the requests shed, and the tail sampler must promote them
+# into the slow log. Clean requests above stay out of it.
+for _ in $(seq 1 20); do
+  curl -s -o /dev/null "$BASE/route?q=0%3A0&deadline_ms=0.001" || true
+done
+SLOWZ="$(curl -sf "$BASE/slowz")"
+echo "$SLOWZ" | head -c 400; echo
+python3 -c 'import json,sys; doc=json.loads(sys.argv[1]); \
+  entries=doc["requests"]; \
+  assert entries, "tail sampler promoted nothing under shed load"; \
+  assert all(e["trace_id"] for e in entries), "entry without a trace id"; \
+  assert any(e["reason"] in ("shed","slow","error") for e in entries), \
+      "no shed/slow entry: " + repr(entries[:3])' "$SLOWZ"
+SLOZ="$(curl -sf "$BASE/sloz")"
+echo "$SLOZ" | head -c 400; echo
+python3 -c 'import json,sys; doc=json.loads(sys.argv[1]); \
+  names=[o["name"] for o in doc["objectives"]]; \
+  assert "router.latency" in names and "router.availability" in names, \
+      "missing SLO objectives: " + repr(names); \
+  assert isinstance(doc["pumps"], list), "no pump heartbeat array"' "$SLOZ"
+# The shed burst must also be visible in the sampling ledger.
+python3 -c 'import json,sys; doc=json.loads(sys.argv[1]); \
+  tail=doc["app"]["tail_sampling"]; \
+  assert tail["traces_promoted"] >= 1, "ledger saw no promotions"; \
+  assert tail["slow_log_added"] >= 1, "nothing reached the slow log"' \
+  "$(curl -sf "$BASE/statusz")"
 
 echo "== /metrics =="
 curl -sf "$BASE/metrics" > "$TMP_DIR/metrics.txt"

@@ -8,9 +8,10 @@
 #   $ tools/run_sanitizers.sh tsan my-dir     # custom build dir
 #   $ OCT_SANITIZE=asan tools/run_sanitizers.sh   # env var instead of arg
 #
-# tsan additionally runs the serve stress tests and the router suite
-# first — they are the densest sources of cross-thread interleavings in
-# the repo (snapshot publish vs. readers; batch workers vs. publishers).
+# tsan additionally runs the observability, serve stress, and router
+# suites first — they are the densest sources of cross-thread
+# interleavings in the repo (tail-sampler shards vs. finishing workers;
+# snapshot publish vs. readers; batch workers vs. publishers).
 #
 # Benchmarks and examples are skipped: they add nothing to sanitizer
 # coverage and google-benchmark is not instrumented.
@@ -49,6 +50,11 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 if [ "$MODE" = "tsan" ]; then
+  echo "== observability suite under TSan =="
+  # Trace propagation, tail-sampler shard contention, the lock-free SLO
+  # buckets, and the watchdog heartbeats all cross threads by design.
+  "$BUILD_DIR/tests/test_obs"
+  "$BUILD_DIR/tests/test_expose"
   echo "== serve stress tests under TSan =="
   "$BUILD_DIR/tests/test_serve_stress"
   echo "== router suite under TSan =="
